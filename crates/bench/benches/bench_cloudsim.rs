@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the cloud simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tuna_cloudsim::components::ComponentVec;
+use tuna_cloudsim::microbench::Microbenchmark;
+use tuna_cloudsim::study::{run_study, StudyConfig};
+use tuna_cloudsim::{Cluster, Machine, Region, VmSku};
+use tuna_stats::rng::Rng;
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine/provision", |b| {
+        let root = Rng::seed_from(1);
+        let sku = VmSku::d8s_v5();
+        let region = Region::westus2();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            black_box(Machine::provision(id, &sku, &region, &root))
+        })
+    });
+    c.bench_function("machine/observe", |b| {
+        let root = Rng::seed_from(2);
+        let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &root);
+        let demand = ComponentVec::new(0.5, 0.8, 0.5, 0.4, 0.3);
+        b.iter(|| black_box(m.observe(&demand)))
+    });
+    c.bench_function("machine/observe_burstable", |b| {
+        let root = Rng::seed_from(3);
+        let mut m = Machine::provision(0, &VmSku::b8ms(), &Region::westus2(), &root);
+        let demand = ComponentVec::new(0.9, 0.8, 0.5, 0.4, 0.3);
+        b.iter(|| black_box(m.observe(&demand)))
+    });
+}
+
+fn bench_microbench(c: &mut Criterion) {
+    c.bench_function("microbench/full_catalog_pass", |b| {
+        let mut cluster = Cluster::new(1, VmSku::d8s_v5(), Region::westus2(), 4);
+        let catalog = Microbenchmark::catalog();
+        b.iter(|| {
+            let m = cluster.machine_mut(0);
+            let total: f64 = catalog.iter().map(|bench| bench.run(m)).sum();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        let cfg = StudyConfig::quick();
+        b.iter(|| black_box(run_study(&cfg).total_samples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine, bench_microbench, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks for the TUNA pipeline and the SuT models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tuna_cloudsim::{Cluster, Region, VmSku};
+use tuna_core::adjuster::{AdjusterConfig, NoiseAdjuster};
+use tuna_core::outlier::OutlierDetector;
+use tuna_core::pipeline::{TunaConfig, TunaPipeline};
+use tuna_core::sample::Sample;
+use tuna_metrics::{MetricVector, SCHEMA};
+use tuna_optimizer::multifidelity::LadderParams;
+use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+use tuna_optimizer::Objective;
+use tuna_stats::rng::Rng;
+use tuna_sut::postgres::Postgres;
+use tuna_sut::SystemUnderTest;
+
+fn bench_sut_run(c: &mut Criterion) {
+    c.bench_function("sut/postgres_tpcc_run", |b| {
+        let pg = Postgres::new();
+        let workload = tuna_workloads::tpcc();
+        let mut cluster = Cluster::new(1, VmSku::d8s_v5(), Region::westus2(), 1);
+        let cfg = pg.default_config();
+        let mut rng = Rng::seed_from(2);
+        b.iter(|| black_box(pg.run(&cfg, &workload, cluster.machine_mut(0), &mut rng).value))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    c.bench_function("outlier/classify_10", |b| {
+        let detector = OutlierDetector::default();
+        let values: Vec<f64> = (0..10).map(|i| 1000.0 + i as f64).collect();
+        b.iter(|| black_box(detector.classify(&values)))
+    });
+}
+
+fn bench_adjuster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_adjuster");
+    group.sample_size(20);
+    let mut rng = Rng::seed_from(3);
+    let mk_sample = |machine: usize, rng: &mut Rng| {
+        let metrics: Vec<f64> = (0..SCHEMA.len()).map(|_| rng.next_f64()).collect();
+        Sample::new(machine, 500.0 + 20.0 * rng.next_gaussian(), MetricVector::new(metrics), false)
+    };
+    group.bench_function("train_on_config", |b| {
+        b.iter(|| {
+            let mut adj = NoiseAdjuster::new(AdjusterConfig::paper_default(10));
+            for _ in 0..5 {
+                let samples: Vec<Sample> = (0..10).map(|w| mk_sample(w, &mut rng)).collect();
+                adj.train_on_config(&samples, &mut rng);
+            }
+            black_box(adj.generations())
+        })
+    });
+    let mut adj = NoiseAdjuster::new(AdjusterConfig::paper_default(10));
+    for _ in 0..8 {
+        let samples: Vec<Sample> = (0..10).map(|w| mk_sample(w, &mut rng)).collect();
+        adj.train_on_config(&samples, &mut rng);
+    }
+    let probe = mk_sample(3, &mut rng);
+    group.bench_function("adjust", |b| {
+        b.iter(|| black_box(adj.adjust(&probe, false)))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("tuna_step", |b| {
+        let pg = Postgres::new();
+        let workload = tuna_workloads::tpcc();
+        b.iter_with_setup(
+            || {
+                let cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 5);
+                let optimizer = SmacOptimizer::multi_fidelity(
+                    pg.space().clone(),
+                    Objective::Maximize,
+                    SmacParams {
+                        n_init: 5,
+                        n_random_candidates: 30,
+                        ..SmacParams::default()
+                    },
+                    LadderParams::paper_default(),
+                );
+                (
+                    TunaPipeline::new(
+                        TunaConfig::paper_default(1.0),
+                        &pg,
+                        &workload,
+                        Box::new(optimizer),
+                        cluster,
+                    ),
+                    Rng::seed_from(6),
+                )
+            },
+            |(mut pipeline, mut rng)| {
+                pipeline.run_rounds(10, &mut rng);
+                black_box(pipeline.finish().total_samples)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sut_run,
+    bench_detector,
+    bench_adjuster,
+    bench_pipeline_step
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks for the statistical core.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tuna_stats::dist::{Distribution, LogNormal, Zipf};
+use tuna_stats::hist::Kde;
+use tuna_stats::online::Welford;
+use tuna_stats::rng::Rng;
+use tuna_stats::summary;
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_f64", |b| {
+        let mut rng = Rng::seed_from(1);
+        b.iter(|| black_box(rng.next_f64()))
+    });
+    c.bench_function("rng/gaussian", |b| {
+        let mut rng = Rng::seed_from(2);
+        b.iter(|| black_box(rng.next_gaussian()))
+    });
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    c.bench_function("dist/lognormal_sample", |b| {
+        let d = LogNormal::from_mean_cov(1.0, 0.05).unwrap();
+        let mut rng = Rng::seed_from(3);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    c.bench_function("dist/zipf_sample_1e4", |b| {
+        let z = Zipf::new(10_000, 0.99).unwrap();
+        let mut rng = Rng::seed_from(4);
+        b.iter(|| black_box(z.sample_rank(&mut rng)))
+    });
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    let xs: Vec<f64> = (0..1_000).map(|_| rng.next_gaussian()).collect();
+    c.bench_function("summary/relative_range_1k", |b| {
+        b.iter(|| black_box(summary::relative_range(&xs)))
+    });
+    c.bench_function("summary/quantile_1k", |b| {
+        b.iter(|| black_box(summary::quantile(&xs, 0.95)))
+    });
+    c.bench_function("online/welford_1k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            black_box(w.variance())
+        })
+    });
+    let small: Vec<f64> = xs.iter().take(200).copied().collect();
+    c.bench_function("hist/kde_fit_density_200", |b| {
+        b.iter(|| {
+            let kde = Kde::fit(&small);
+            black_box(kde.density(0.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_rng, bench_distributions, bench_summaries);
+criterion_main!(benches);

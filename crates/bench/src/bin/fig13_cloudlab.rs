@@ -1,0 +1,56 @@
+//! Figure 13 — generalization across hardware: TPC-C on CloudLab c220g5
+//! bare metal.
+//!
+//! Paper: TUNA 5756 tx/s (19.1x over default) vs traditional 5380 tx/s
+//! (17.8x); 8/10 traditional configs unstable with 7.71x higher std; all
+//! TUNA configs stable and on average 7% faster.
+
+use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_cloudsim::{Region, VmSku};
+use tuna_core::experiment::{Experiment, Method};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 13",
+        "TPC-C on PostgreSQL, CloudLab c220g5 bare metal",
+        "TUNA 5756 tx/s (19.1x default) vs traditional 5380 tx/s (17.8x); trad 7.71x std",
+    );
+    let runs = args.runs_or(3, 8, 10);
+    let rounds = args.rounds_or(30, 96, 96);
+
+    let mut exp = Experiment::paper_default(tuna_workloads::tpcc());
+    exp.rounds = rounds;
+    exp.sku = VmSku::c220g5();
+    exp.region = Region::cloudlab();
+    let results = compare_methods(
+        &exp,
+        &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
+        runs,
+        args.seed,
+    );
+
+    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let tuna = get("TUNA");
+    let trad = get("Traditional");
+    let def = get("Default");
+    paper_vs(
+        "TUNA improvement over default",
+        "19.1x",
+        &format!("{:.1}x", tuna.mean_of_means / def.mean_of_means),
+    );
+    paper_vs(
+        "traditional improvement over default",
+        "17.8x",
+        &format!("{:.1}x", trad.mean_of_means / def.mean_of_means),
+    );
+    paper_vs(
+        "traditional std / TUNA std",
+        "7.71x",
+        &format!("{:.2}x", trad.mean_std / tuna.mean_std.max(1e-9)),
+    );
+    println!(
+        "  note: the default config wastes the 192 GB box — random reads hammer the slow local disk;\n\
+         tuning moves the working set into memory, which is why the headroom is an order of magnitude."
+    );
+}

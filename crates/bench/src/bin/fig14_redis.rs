@@ -1,0 +1,63 @@
+//! Figure 14 — Redis / YCSB-C p95 latency with crash handling.
+//!
+//! Paper: three traditional-found configs crash Redis 30% of the time
+//! (OOM), the default crashes 8%; crashed runs are replaced by the worst
+//! default p95 (0.908 ms). TUNA's configs never crash; TUNA ends with
+//! 27.5% lower std than default and 86.8% lower than traditional, at
+//! +1.7% mean latency vs the default.
+
+use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_core::experiment::{Experiment, Method};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 14",
+        "Redis serving YCSB-C: tuned configs deployed on new VMs (p95 ms)",
+        "TUNA never crashes; std 86.8% lower than traditional; mean ~= default",
+    );
+    let runs = args.runs_or(3, 8, 10);
+    let rounds = args.rounds_or(30, 96, 96);
+
+    let mut exp = Experiment::paper_default(tuna_workloads::ycsb_c());
+    exp.rounds = rounds;
+    let results = compare_methods(
+        &exp,
+        &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
+        runs,
+        args.seed,
+    );
+
+    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let tuna = get("TUNA");
+    let trad = get("Traditional");
+    let def = get("Default");
+    paper_vs(
+        "TUNA deployment crashes",
+        "0",
+        &format!("{}", tuna.crashes),
+    );
+    paper_vs(
+        "traditional deployment crashes",
+        "3 configs crash ~30% of runs",
+        &format!("{} crashed runs", trad.crashes),
+    );
+    paper_vs(
+        "default crash rate",
+        "8%",
+        &format!(
+            "{:.1}%",
+            def.crashes as f64 / (runs * exp.deploy_vms * exp.deploy_repeats) as f64 * 100.0
+        ),
+    );
+    paper_vs(
+        "TUNA std / traditional std",
+        "13.2% (86.8% lower)",
+        &format!("{:.1}%", tuna.mean_std / trad.mean_std.max(1e-9) * 100.0),
+    );
+    paper_vs(
+        "TUNA mean vs default mean",
+        "+1.7%",
+        &format!("{:+.1}%", (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 15 — NGINX serving the Wikipedia Top-500 workload (p95 ms).
+//!
+//! Paper: TUNA 42.6 ms (-38.9% vs default) vs traditional 46.6 ms
+//! (-32.7%); TUNA std 0.82 ms vs traditional 1.46 ms (63.3% lower).
+
+use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_core::experiment::{Experiment, Method};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Figure 15",
+        "NGINX serving Wikipedia Top-500: tuned configs on new VMs (p95 ms)",
+        "TUNA 42.6 ms vs traditional 46.6 ms vs default 69.7 ms; TUNA std 63.3% lower",
+    );
+    let runs = args.runs_or(3, 8, 10);
+    let rounds = args.rounds_or(30, 96, 96);
+
+    let mut exp = Experiment::paper_default(tuna_workloads::wikipedia());
+    exp.rounds = rounds;
+    let results = compare_methods(
+        &exp,
+        &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
+        runs,
+        args.seed,
+    );
+
+    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let tuna = get("TUNA");
+    let trad = get("Traditional");
+    let def = get("Default");
+    paper_vs(
+        "TUNA improvement over default",
+        "-38.9%",
+        &format!("{:+.1}%", (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+    );
+    paper_vs(
+        "traditional improvement over default",
+        "-32.7%",
+        &format!("{:+.1}%", (trad.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+    );
+    paper_vs(
+        "TUNA std / traditional std",
+        "36.7% (63.3% lower)",
+        &format!("{:.1}%", tuna.mean_std / trad.mean_std.max(1e-9) * 100.0),
+    );
+}

@@ -1,0 +1,210 @@
+//! Shared harness utilities for the figure/table regenerator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation: it runs the corresponding experiment on the
+//! simulated substrate and prints the same rows/series the paper plots,
+//! annotated with the paper's reported values for comparison. Absolute
+//! numbers are not expected to match (the substrate is a simulator, not
+//! the authors' Azure/CloudLab testbed); the *shape* — who wins, by what
+//! rough factor, where crossovers fall — is the reproduction target.
+//!
+//! Common flags for all binaries:
+//!
+//! - `--runs N`: tuning runs per method (default varies per figure),
+//! - `--rounds N`: optimizer rounds per tuning run,
+//! - `--seed N`: root seed,
+//! - `--quick`: cut all budgets for a fast smoke run,
+//! - `--full`: paper-scale budgets (slow).
+
+use tuna_stats::summary;
+
+/// Parsed command-line options for regenerator binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Tuning runs per method (None = figure default).
+    pub runs: Option<usize>,
+    /// Optimizer rounds per run (None = figure default).
+    pub rounds: Option<usize>,
+    /// Root seed.
+    pub seed: u64,
+    /// Fast smoke mode.
+    pub quick: bool,
+    /// Paper-scale mode.
+    pub full: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed flags.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            runs: None,
+            rounds: None,
+            seed: 42,
+            quick: false,
+            full: false,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--runs" => {
+                    i += 1;
+                    args.runs = Some(argv[i].parse().expect("--runs N"));
+                }
+                "--rounds" => {
+                    i += 1;
+                    args.rounds = Some(argv[i].parse().expect("--rounds N"));
+                }
+                "--seed" => {
+                    i += 1;
+                    args.seed = argv[i].parse().expect("--seed N");
+                }
+                "--quick" => args.quick = true,
+                "--full" => args.full = true,
+                other => panic!("unknown flag '{other}' (see crate docs for usage)"),
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// Picks a budget: quick / default / full.
+    pub fn pick(&self, quick: usize, default: usize, full: usize) -> usize {
+        if self.quick {
+            quick
+        } else if self.full {
+            full
+        } else {
+            default
+        }
+    }
+
+    /// Runs per method with figure-specific defaults.
+    pub fn runs_or(&self, quick: usize, default: usize, full: usize) -> usize {
+        self.runs.unwrap_or_else(|| self.pick(quick, default, full))
+    }
+
+    /// Rounds per run with figure-specific defaults.
+    pub fn rounds_or(&self, quick: usize, default: usize, full: usize) -> usize {
+        self.rounds.unwrap_or_else(|| self.pick(quick, default, full))
+    }
+}
+
+/// Prints the figure banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper: {claim}");
+    println!("==================================================================");
+}
+
+/// Prints a paper-vs-measured comparison line.
+pub fn paper_vs(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<46} paper: {paper:<18} measured: {measured}");
+}
+
+/// Renders an inline ASCII distribution strip (poor man's boxplot) over a
+/// fixed value range.
+pub fn strip_plot(values: &[f64], lo: f64, hi: f64, width: usize) -> String {
+    let mut cells = vec![0usize; width];
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let idx = ((frac * (width - 1) as f64).round() as usize).min(width - 1);
+        cells[idx] += 1;
+    }
+    let max = cells.iter().copied().max().unwrap_or(1).max(1);
+    cells
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                '.'
+            } else {
+                let level = (c * 4 + max - 1) / max; // 1..=4
+                [' ', '-', '+', '*', '#'][level.min(4)]
+            }
+        })
+        .collect()
+}
+
+/// Mean and std dev formatted as `mean ± std`.
+pub fn mean_pm_std(values: &[f64]) -> String {
+    format!(
+        "{:.1} ± {:.1}",
+        summary::mean(values),
+        summary::std_dev(values)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_budget_tiers() {
+        let mut a = HarnessArgs {
+            runs: None,
+            rounds: None,
+            seed: 1,
+            quick: false,
+            full: false,
+        };
+        assert_eq!(a.pick(1, 2, 3), 2);
+        a.quick = true;
+        assert_eq!(a.pick(1, 2, 3), 1);
+        a.quick = false;
+        a.full = true;
+        assert_eq!(a.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn explicit_runs_override() {
+        let a = HarnessArgs {
+            runs: Some(7),
+            rounds: None,
+            seed: 1,
+            quick: true,
+            full: false,
+        };
+        assert_eq!(a.runs_or(1, 2, 3), 7);
+        assert_eq!(a.rounds_or(1, 2, 3), 1);
+    }
+
+    #[test]
+    fn strip_plot_marks_mass() {
+        let s = strip_plot(&[0.0, 0.0, 1.0], 0.0, 1.0, 10);
+        assert_eq!(s.len(), 10);
+        assert_ne!(s.chars().next().unwrap(), '.');
+        assert_ne!(s.chars().last().unwrap(), '.');
+        assert_eq!(s.chars().nth(5).unwrap(), '.');
+    }
+}
+
+/// Runs `n_runs` tuning runs per method and prints the §6-style
+/// method-comparison table with the paper's reference values.
+///
+/// Returns `(method name, summary)` pairs in the order given.
+pub fn compare_methods(
+    exp: &tuna_core::experiment::Experiment,
+    methods: &[tuna_core::experiment::Method],
+    n_runs: usize,
+    seed: u64,
+) -> Vec<(&'static str, tuna_core::report::MethodSummary)> {
+    use tuna_core::report::{method_comparison_table, summarize_method};
+    let mut out = Vec::new();
+    for &method in methods {
+        let runs = exp.run_many(method, n_runs, seed);
+        out.push((method.name(), summarize_method(&runs)));
+    }
+    let unit = exp.workload.metric.unit();
+    let entries: Vec<(&str, tuna_core::report::MethodSummary)> =
+        out.iter().map(|(n, s)| (*n, *s)).collect();
+    println!("{}", method_comparison_table(unit, &entries));
+    out
+}

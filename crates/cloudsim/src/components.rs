@@ -1,0 +1,237 @@
+//! The five platform components the paper's study isolates.
+
+/// A hardware/OS component whose performance varies in the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// CPU compute throughput.
+    Cpu,
+    /// Virtual disk bandwidth/IOPS.
+    Disk,
+    /// Memory bandwidth.
+    Memory,
+    /// Last-level cache bandwidth (shared, unpartitioned).
+    Cache,
+    /// OS operations that trap to the hypervisor (VMEXIT-heavy).
+    Os,
+}
+
+impl Component {
+    /// All components, in display order.
+    pub const ALL: [Component; 5] = [
+        Component::Cpu,
+        Component::Disk,
+        Component::Memory,
+        Component::Cache,
+        Component::Os,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Cpu => "CPU",
+            Component::Disk => "Disk",
+            Component::Memory => "Mem",
+            Component::Cache => "Cache",
+            Component::Os => "OS",
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One `f64` per component; used for performance factors, demand weights,
+/// interference states and noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComponentVec {
+    /// CPU entry.
+    pub cpu: f64,
+    /// Disk entry.
+    pub disk: f64,
+    /// Memory entry.
+    pub memory: f64,
+    /// Cache entry.
+    pub cache: f64,
+    /// OS entry.
+    pub os: f64,
+}
+
+impl ComponentVec {
+    /// Creates a vector from explicit entries.
+    pub fn new(cpu: f64, disk: f64, memory: f64, cache: f64, os: f64) -> Self {
+        ComponentVec {
+            cpu,
+            disk,
+            memory,
+            cache,
+            os,
+        }
+    }
+
+    /// All entries set to `v`.
+    pub fn uniform(v: f64) -> Self {
+        ComponentVec::new(v, v, v, v, v)
+    }
+
+    /// All ones (neutral multiplicative factor).
+    pub fn ones() -> Self {
+        ComponentVec::uniform(1.0)
+    }
+
+    /// Entry for `c`.
+    pub fn get(&self, c: Component) -> f64 {
+        match c {
+            Component::Cpu => self.cpu,
+            Component::Disk => self.disk,
+            Component::Memory => self.memory,
+            Component::Cache => self.cache,
+            Component::Os => self.os,
+        }
+    }
+
+    /// Sets the entry for `c`.
+    pub fn set(&mut self, c: Component, v: f64) {
+        match c {
+            Component::Cpu => self.cpu = v,
+            Component::Disk => self.disk = v,
+            Component::Memory => self.memory = v,
+            Component::Cache => self.cache = v,
+            Component::Os => self.os = v,
+        }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> ComponentVec {
+        ComponentVec::new(
+            f(self.cpu),
+            f(self.disk),
+            f(self.memory),
+            f(self.cache),
+            f(self.os),
+        )
+    }
+
+    /// Elementwise combination with another vector.
+    pub fn zip(&self, other: &ComponentVec, f: impl Fn(f64, f64) -> f64) -> ComponentVec {
+        ComponentVec::new(
+            f(self.cpu, other.cpu),
+            f(self.disk, other.disk),
+            f(self.memory, other.memory),
+            f(self.cache, other.cache),
+            f(self.os, other.os),
+        )
+    }
+
+    /// Sum of entries.
+    pub fn sum(&self) -> f64 {
+        self.cpu + self.disk + self.memory + self.cache + self.os
+    }
+
+    /// Normalizes entries to sum to 1 (returns a copy; a zero vector is
+    /// returned unchanged).
+    pub fn normalized(&self) -> ComponentVec {
+        let s = self.sum();
+        if s == 0.0 {
+            *self
+        } else {
+            self.map(|v| v / s)
+        }
+    }
+
+    /// Weighted geometric mean of `speeds` with `self` as (already
+    /// normalized) weights: `prod_c speeds[c]^{w_c}`.
+    ///
+    /// This is the simulator's composition law: a workload whose demand is
+    /// 50% disk and 50% memory on a machine with disk at 0.9x and memory at
+    /// 1.1x runs at `0.9^0.5 * 1.1^0.5 ≈ 0.995x`. Multiplicative
+    /// composition keeps component CoVs additive in log space, matching how
+    /// the paper reasons about noise propagation.
+    pub fn weighted_geomean(&self, speeds: &ComponentVec) -> f64 {
+        let mut log_sum = 0.0;
+        for c in Component::ALL {
+            let w = self.get(c);
+            if w > 0.0 {
+                log_sum += w * speeds.get(c).max(1e-9).ln();
+            }
+        }
+        log_sum.exp()
+    }
+
+    /// Iterates `(component, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        Component::ALL.into_iter().map(move |c| (c, self.get(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut v = ComponentVec::default();
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            v.set(c, i as f64);
+        }
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            assert_eq!(v.get(c), i as f64);
+        }
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let v = ComponentVec::new(1.0, 2.0, 3.0, 4.0, 10.0);
+        assert!((v.normalized().sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_identity() {
+        let v = ComponentVec::default();
+        assert_eq!(v.normalized(), v);
+    }
+
+    #[test]
+    fn geomean_of_ones_is_one() {
+        let w = ComponentVec::uniform(0.2);
+        assert!((w.weighted_geomean(&ComponentVec::ones()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_single_component_passthrough() {
+        let mut w = ComponentVec::default();
+        w.set(Component::Disk, 1.0);
+        let mut speeds = ComponentVec::ones();
+        speeds.set(Component::Disk, 0.7);
+        assert!((w.weighted_geomean(&speeds) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_between_extremes() {
+        let w = ComponentVec::new(0.5, 0.5, 0.0, 0.0, 0.0);
+        let speeds = ComponentVec::new(0.8, 1.2, 5.0, 5.0, 5.0);
+        let g = w.weighted_geomean(&speeds);
+        assert!(g > 0.8 && g < 1.2);
+        // Unused components must not leak in.
+        assert!((g - (0.8f64.sqrt() * 1.2f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = ComponentVec::uniform(2.0);
+        let b = ComponentVec::uniform(3.0);
+        assert_eq!(a.zip(&b, |x, y| x * y), ComponentVec::uniform(6.0));
+        assert_eq!(a.map(|x| x + 1.0), ComponentVec::uniform(3.0));
+    }
+
+    #[test]
+    fn iter_yields_all_components() {
+        let v = ComponentVec::new(1.0, 2.0, 3.0, 4.0, 5.0);
+        let collected: Vec<(Component, f64)> = v.iter().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[0], (Component::Cpu, 1.0));
+        assert_eq!(collected[4], (Component::Os, 5.0));
+    }
+}

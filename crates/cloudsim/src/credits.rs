@@ -1,0 +1,194 @@
+//! Burstable-VM credit model.
+//!
+//! Azure B-series VMs (§3.2, Figure 3) earn CPU/disk credits at a baseline
+//! rate and spend them while bursting above baseline. When credits deplete,
+//! performance drops by more than 50%, producing the *bimodal* distribution
+//! the paper observes — the key reason burstable VMs are declared unsuitable
+//! for autotuning without credit awareness.
+//!
+//! A measurement epoch (≈5 minutes) is modelled as several credit *ticks*;
+//! a VM whose bank empties at any tick of the epoch is throttled for that
+//! measurement. Under sustained marginally-over-baseline load the balance
+//! self-organizes around the depletion boundary, so measurement noise flips
+//! individual samples between the fast and throttled modes — exactly the
+//! bimodality of Figure 3.
+
+/// Static credit parameters of a burstable SKU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreditSpec {
+    /// Maximum banked credits.
+    pub capacity: f64,
+    /// Credits earned per tick.
+    pub accrual_per_tick: f64,
+    /// Credits burned per tick at full over-baseline utilization.
+    pub burn_per_tick: f64,
+    /// Utilization below which no credits are burned.
+    pub baseline_util: f64,
+    /// Credit ticks per measurement epoch.
+    pub ticks_per_epoch: usize,
+    /// Multiplicative performance factor applied to CPU and disk while
+    /// depleted (0.2 ≈ the ">50% degradation" of Figure 3 after demand
+    /// weighting).
+    pub depleted_factor: f64,
+}
+
+impl CreditSpec {
+    /// Parameters tuned so the §3.2 instrument set drives B8ms VMs to the
+    /// depletion boundary, reproducing Figure 3's bimodality.
+    pub fn b_series_default() -> Self {
+        CreditSpec {
+            capacity: 60.0,
+            accrual_per_tick: 0.4,
+            burn_per_tick: 6.0,
+            baseline_util: 0.30,
+            ticks_per_epoch: 6,
+            depleted_factor: 0.20,
+        }
+    }
+}
+
+/// Mutable credit balance of one burstable VM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreditState {
+    spec: CreditSpec,
+    balance: f64,
+}
+
+impl CreditState {
+    /// Creates a state with a full balance.
+    pub fn new(spec: CreditSpec) -> Self {
+        CreditState {
+            spec,
+            balance: spec.capacity,
+        }
+    }
+
+    /// Creates a state with a given starting balance (clamped to
+    /// `[0, capacity]`) — short-lived VMs inherit a random bank.
+    pub fn with_balance(spec: CreditSpec, balance: f64) -> Self {
+        CreditState {
+            spec,
+            balance: balance.clamp(0.0, spec.capacity),
+        }
+    }
+
+    /// Runs one measurement epoch at the given utilization with a
+    /// multiplicative burn-noise factor (work per wall-clock window varies).
+    /// Returns `true` if the VM was depleted (throttled) at any tick.
+    pub fn run_epoch(&mut self, utilization: f64, burn_noise: f64) -> bool {
+        let util = utilization.clamp(0.0, 1.0);
+        let excess = (util - self.spec.baseline_util).max(0.0)
+            / (1.0 - self.spec.baseline_util).max(1e-9);
+        let burn = self.spec.burn_per_tick * excess * burn_noise.max(0.0);
+        let mut depleted = false;
+        for _ in 0..self.spec.ticks_per_epoch {
+            self.balance += self.spec.accrual_per_tick - burn;
+            self.balance = self.balance.clamp(0.0, self.spec.capacity);
+            if self.balance <= f64::EPSILON && excess > 0.0 {
+                depleted = true;
+            }
+        }
+        depleted
+    }
+
+    /// Idles one epoch (accrual only).
+    pub fn idle_epoch(&mut self) {
+        self.balance = (self.balance
+            + self.spec.accrual_per_tick * self.spec.ticks_per_epoch as f64)
+            .min(self.spec.capacity);
+    }
+
+    /// Current balance.
+    pub fn balance(&self) -> f64 {
+        self.balance
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.balance <= f64::EPSILON
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &CreditSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_vm_never_depletes() {
+        let mut state = CreditState::new(CreditSpec::b_series_default());
+        for _ in 0..10_000 {
+            assert!(!state.run_epoch(0.1, 1.0));
+        }
+        assert!((state.balance() - state.spec().capacity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_burst_depletes() {
+        let mut state = CreditState::new(CreditSpec::b_series_default());
+        let mut depleted_at = None;
+        for i in 0..10_000 {
+            if state.run_epoch(1.0, 1.0) {
+                depleted_at = Some(i);
+                break;
+            }
+        }
+        let at = depleted_at.expect("sustained burst must deplete");
+        // capacity 60, net burn (6 - 0.4) * 6 = 33.6 per epoch => ~2 epochs.
+        assert!(at < 5, "depleted at {at}");
+    }
+
+    #[test]
+    fn recovery_after_idle() {
+        let spec = CreditSpec::b_series_default();
+        let mut state = CreditState::with_balance(spec, 0.0);
+        assert!(state.is_empty());
+        for _ in 0..30 {
+            state.idle_epoch();
+        }
+        assert!(state.balance() > spec.capacity * 0.9);
+        assert!(
+            !state.run_epoch(1.0, 1.0),
+            "a full bank survives one epoch of bursting"
+        );
+    }
+
+    #[test]
+    fn balance_clamped_to_capacity() {
+        let spec = CreditSpec::b_series_default();
+        let state = CreditState::with_balance(spec, 1e9);
+        assert_eq!(state.balance(), spec.capacity);
+    }
+
+    #[test]
+    fn partial_util_burns_slower() {
+        let spec = CreditSpec::b_series_default();
+        let mut full = CreditState::new(spec);
+        let mut partial = CreditState::new(spec);
+        full.run_epoch(1.0, 1.0);
+        partial.run_epoch(0.6, 1.0);
+        assert!(partial.balance() > full.balance());
+    }
+
+    #[test]
+    fn below_baseline_accrues() {
+        let spec = CreditSpec::b_series_default();
+        let mut state = CreditState::with_balance(spec, 10.0);
+        state.run_epoch(spec.baseline_util * 0.9, 1.0);
+        assert!(state.balance() > 10.0);
+    }
+
+    #[test]
+    fn burn_noise_scales_depletion() {
+        let spec = CreditSpec::b_series_default();
+        let mut calm = CreditState::with_balance(spec, 30.0);
+        let mut noisy = CreditState::with_balance(spec, 30.0);
+        calm.run_epoch(0.6, 0.5);
+        noisy.run_epoch(0.6, 2.0);
+        assert!(noisy.balance() < calm.balance());
+    }
+}

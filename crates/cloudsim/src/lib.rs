@@ -1,0 +1,52 @@
+//! Deterministic cloud-platform simulator for the TUNA reproduction.
+//!
+//! The paper's substrate is Microsoft Azure (plus CloudLab bare metal); this
+//! crate replaces it with a seedable simulator calibrated to the paper's own
+//! 68-week measurement study (§3.2):
+//!
+//! | Component | Paper CoV (D8s_v5, non-burstable) | Model |
+//! |-----------|-----------------------------------|-------|
+//! | CPU       | 0.17%                             | placement + AR(1) interference |
+//! | Disk      | 0.36%                             | placement + AR(1) interference |
+//! | Memory    | 4.92%                             | placement + AR(1) interference |
+//! | OS        | 9.82%                             | placement + AR(1) interference |
+//! | Cache     | 14.39%                            | placement + AR(1) interference |
+//!
+//! Every [`machine::Machine`] draws *placement factors* (which
+//! physical host it landed on — fixed for the VM's life, modulo rare
+//! migrations) and evolves *interference* (noisy neighbors) as mean-
+//! reverting AR(1) processes. Burstable SKUs add a credit model whose
+//! depletion produces the bimodal performance of Figure 3.
+//!
+//! The [`study`] module replays the paper's longitudinal methodology
+//! (long-running vs short-lived VMs, multiple regions) to regenerate
+//! Figures 3, 4 and 6 and the Table 1 "This Work" row.
+//!
+//! # Examples
+//!
+//! ```
+//! use tuna_cloudsim::cluster::Cluster;
+//! use tuna_cloudsim::components::ComponentVec;
+//! use tuna_cloudsim::region::Region;
+//! use tuna_cloudsim::sku::VmSku;
+//!
+//! let mut cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 42);
+//! let demand = ComponentVec::uniform(0.2);
+//! let snap = cluster.machine_mut(0).observe(&demand);
+//! assert!(snap.speeds.cpu > 0.9 && snap.speeds.cpu < 1.1);
+//! ```
+
+pub mod cluster;
+pub mod components;
+pub mod credits;
+pub mod machine;
+pub mod microbench;
+pub mod region;
+pub mod sku;
+pub mod study;
+
+pub use cluster::Cluster;
+pub use components::{Component, ComponentVec};
+pub use machine::{Machine, MachineId, Snapshot};
+pub use region::Region;
+pub use sku::VmSku;

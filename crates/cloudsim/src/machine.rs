@@ -1,0 +1,390 @@
+//! A single simulated VM (or bare-metal node).
+
+use crate::components::{Component, ComponentVec};
+use crate::credits::CreditState;
+use crate::region::Region;
+use crate::sku::VmSku;
+use tuna_stats::ar1::Ar1;
+use tuna_stats::rng::{hash_combine, Rng};
+
+/// Unique machine identity within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u64);
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// What a measurement epoch observes on a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Effective per-component speed factors (placement × interference ×
+    /// credit throttling); ~1.0 is nominal.
+    pub speeds: ComponentVec,
+    /// The latent interference states this epoch (visible to the guest
+    /// only through resource counters — the noise-adjuster's signal).
+    pub interference: ComponentVec,
+    /// The machine's placement factors.
+    pub placement: ComponentVec,
+    /// Whether burstable credits were depleted during this epoch.
+    pub credits_depleted: bool,
+    /// Whether the VM sits on a crowded host.
+    pub crowded: bool,
+    /// The epoch index at which this snapshot was taken.
+    pub epoch: u64,
+}
+
+/// One simulated machine.
+///
+/// Each measurement epoch ([`Machine::observe`]) advances the per-component
+/// AR(1) interference processes one step (≈ one 5-minute evaluation) and
+/// returns the effective component speeds. Placement factors are drawn at
+/// provisioning and stay fixed unless a rare live-migration redraws them.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    id: MachineId,
+    sku: VmSku,
+    region: Region,
+    placement: ComponentVec,
+    crowded: bool,
+    interference: [Ar1; 5],
+    credits: Option<CreditState>,
+    rng: Rng,
+    epoch: u64,
+}
+
+impl Machine {
+    /// Provisions a machine: draws placement (possibly crowded) and
+    /// initializes interference from its stationary distribution.
+    ///
+    /// Deterministic given `(parent, id)` — cluster seeds fan out from a
+    /// single root.
+    pub fn provision(id: u64, sku: &VmSku, region: &Region, parent: &Rng) -> Machine {
+        let mut rng = parent.fork(hash_combine(0x4D41_4348, id));
+        let crowded = rng.chance(region.crowded_prob);
+        let placement = Self::draw_placement(sku, region, crowded, &mut rng);
+        let interference = Self::draw_interference(sku, region, &mut rng);
+        let credits = sku.burstable.map(|spec| {
+            // VMs join the fleet at a random point of their credit cycle.
+            let bal = rng.range_f64(0.0, 1.0) * spec.capacity;
+            CreditState::with_balance(spec, bal)
+        });
+        Machine {
+            id: MachineId(id),
+            sku: sku.clone(),
+            region: region.clone(),
+            placement,
+            crowded,
+            interference,
+            credits,
+            rng,
+            epoch: 0,
+        }
+    }
+
+    fn draw_placement(
+        sku: &VmSku,
+        region: &Region,
+        crowded: bool,
+        rng: &mut Rng,
+    ) -> ComponentVec {
+        let mut placement = ComponentVec::ones();
+        for c in Component::ALL {
+            let cov = sku.placement_cov.get(c) * region.placement_scale;
+            let factor = (1.0 + cov * rng.next_gaussian()).max(0.05);
+            placement.set(c, factor);
+        }
+        if crowded {
+            let heavy = 1.0 - region.crowded_penalty;
+            let light = 1.0 - region.crowded_penalty * 0.2;
+            placement.memory *= heavy;
+            placement.cache *= heavy;
+            placement.os *= heavy;
+            placement.cpu *= light;
+            placement.disk *= light;
+        }
+        placement
+    }
+
+    fn draw_interference(sku: &VmSku, region: &Region, rng: &mut Rng) -> [Ar1; 5] {
+        let mk = |c: Component, rng: &mut Rng| {
+            Ar1::new(
+                sku.interference_phi,
+                sku.interference_std.get(c) * region.interference_scale,
+                rng,
+            )
+            .expect("valid AR(1) parameters")
+        };
+        [
+            mk(Component::Cpu, rng),
+            mk(Component::Disk, rng),
+            mk(Component::Memory, rng),
+            mk(Component::Cache, rng),
+            mk(Component::Os, rng),
+        ]
+    }
+
+    /// The machine id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// A stable 64-bit identity derived from the placement draw — used for
+    /// deterministic per-(machine, config) decisions such as query-plan
+    /// tipping, which must not depend on sampling order.
+    pub fn identity(&self) -> u64 {
+        let mut h = self.id.0 ^ 0x5EED_FACE;
+        for c in Component::ALL {
+            h = hash_combine(h, self.placement.get(c).to_bits());
+        }
+        h
+    }
+
+    /// The SKU.
+    pub fn sku(&self) -> &VmSku {
+        &self.sku
+    }
+
+    /// The region.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Placement factors.
+    pub fn placement(&self) -> &ComponentVec {
+        &self.placement
+    }
+
+    /// Whether the VM landed on a crowded host.
+    pub fn is_crowded(&self) -> bool {
+        self.crowded
+    }
+
+    /// Absolute performance scale of the SKU.
+    pub fn perf_scale(&self) -> f64 {
+        self.sku.perf_scale
+    }
+
+    /// Current epoch counter.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs one measurement epoch under the given per-component demand
+    /// (utilization fractions in `[0, 1]`), advancing interference and the
+    /// credit model, and returns the observed snapshot.
+    pub fn observe(&mut self, demand: &ComponentVec) -> Snapshot {
+        self.epoch += 1;
+
+        // Rare live migration: new host, new neighbors.
+        if self.sku.migration_prob > 0.0 && self.rng.chance(self.sku.migration_prob) {
+            self.crowded = self.rng.chance(self.region.crowded_prob);
+            self.placement =
+                Self::draw_placement(&self.sku, &self.region, self.crowded, &mut self.rng);
+            for p in &mut self.interference {
+                p.reset(&mut self.rng);
+            }
+        }
+
+        let mut interference = ComponentVec::default();
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            interference.set(c, self.interference[i].step(&mut self.rng));
+        }
+
+        // Credit accounting: burstable credits burn with CPU + disk load;
+        // the work done per wall-clock window (and hence the burn) varies.
+        let mut credits_depleted = false;
+        if let Some(credits) = &mut self.credits {
+            let util = 0.5 * (demand.cpu + demand.disk).clamp(0.0, 2.0);
+            let burn_noise = (1.0 + 0.25 * self.rng.next_gaussian()).max(0.1);
+            credits_depleted = credits.run_epoch(util, burn_noise);
+        }
+
+        let mut speeds = ComponentVec::ones();
+        for c in Component::ALL {
+            // Small per-measurement jitter on top of the structured noise.
+            let jitter = 1.0 + 0.001 * self.rng.next_gaussian();
+            let mut speed =
+                self.placement.get(c) * (1.0 + interference.get(c)).max(0.05) * jitter;
+            if credits_depleted && matches!(c, Component::Cpu | Component::Disk) {
+                speed *= self
+                    .credits
+                    .as_ref()
+                    .map(|cs| cs.spec().depleted_factor)
+                    .unwrap_or(1.0);
+            }
+            speeds.set(c, speed.max(0.01));
+        }
+
+        Snapshot {
+            speeds,
+            interference,
+            placement: self.placement,
+            credits_depleted,
+            crowded: self.crowded,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Advances `steps` idle epochs (no demand, interference evolves,
+    /// credits recover).
+    pub fn advance(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.epoch += 1;
+            for p in &mut self.interference {
+                p.step(&mut self.rng);
+            }
+            if let Some(credits) = &mut self.credits {
+                credits.idle_epoch();
+            }
+        }
+    }
+
+    /// Current credit balance, if burstable.
+    pub fn credit_balance(&self) -> Option<f64> {
+        self.credits.as_ref().map(|c| c.balance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_stats::online::Welford;
+
+    fn demand() -> ComponentVec {
+        ComponentVec::new(0.5, 0.5, 0.5, 0.5, 0.5)
+    }
+
+    #[test]
+    fn provisioning_is_deterministic() {
+        let parent = Rng::seed_from(1);
+        let a = Machine::provision(7, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        let b = Machine::provision(7, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        assert_eq!(a.placement(), b.placement());
+        assert_eq!(a.identity(), b.identity());
+    }
+
+    #[test]
+    fn different_ids_get_different_placements() {
+        let parent = Rng::seed_from(1);
+        let a = Machine::provision(1, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        let b = Machine::provision(2, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        assert_ne!(a.placement(), b.placement());
+        assert_ne!(a.identity(), b.identity());
+    }
+
+    #[test]
+    fn speeds_hover_around_placement() {
+        let parent = Rng::seed_from(3);
+        let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        let mut w = Welford::new();
+        for _ in 0..2000 {
+            let snap = m.observe(&demand());
+            w.push(snap.speeds.cache / m.placement().cache);
+        }
+        // Mean relative speed ~1; dispersion ~ cache interference std (7.9%).
+        assert!((w.mean() - 1.0).abs() < 0.02, "mean {}", w.mean());
+        assert!((w.std_dev() - 0.0794).abs() < 0.03, "std {}", w.std_dev());
+    }
+
+    #[test]
+    fn cpu_much_quieter_than_cache() {
+        let parent = Rng::seed_from(4);
+        let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        let mut cpu = Welford::new();
+        let mut cache = Welford::new();
+        for _ in 0..3000 {
+            let s = m.observe(&demand());
+            cpu.push(s.speeds.cpu);
+            cache.push(s.speeds.cache);
+        }
+        assert!(
+            cache.cov() > cpu.cov() * 10.0,
+            "cpu {} cache {}",
+            cpu.cov(),
+            cache.cov()
+        );
+    }
+
+    #[test]
+    fn burstable_depletes_under_load_and_recovers() {
+        let parent = Rng::seed_from(5);
+        let mut m = Machine::provision(0, &VmSku::b8ms(), &Region::westus2(), &parent);
+        let heavy = ComponentVec::new(1.0, 1.0, 0.5, 0.5, 0.3);
+
+        // Sustained bursting must deplete within a few epochs.
+        let mut depleted_speed = None;
+        for _ in 0..50 {
+            let s = m.observe(&heavy);
+            if s.credits_depleted {
+                depleted_speed = Some(s.speeds.disk);
+                break;
+            }
+        }
+        let depleted_speed = depleted_speed.expect("sustained load must deplete credits");
+
+        // Idle long enough and the bank refills; the first post-recovery
+        // epoch runs at full speed.
+        m.advance(300);
+        let s = m.observe(&heavy);
+        assert!(!s.credits_depleted, "credits should recover after idling");
+        assert!(
+            depleted_speed < s.speeds.disk * 0.6,
+            "depletion must cut >40%: {depleted_speed} vs {}",
+            s.speeds.disk
+        );
+    }
+
+    #[test]
+    fn non_burstable_never_depletes() {
+        let parent = Rng::seed_from(6);
+        let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        for _ in 0..500 {
+            assert!(!m.observe(&ComponentVec::ones()).credits_depleted);
+        }
+        assert_eq!(m.credit_balance(), None);
+    }
+
+    #[test]
+    fn crowded_hosts_slower_in_crowded_region() {
+        let parent = Rng::seed_from(7);
+        let region = Region::centralus();
+        let sku = VmSku::d8s_v5();
+        let mut crowded_mem = Vec::new();
+        let mut normal_mem = Vec::new();
+        for id in 0..400 {
+            let m = Machine::provision(id, &sku, &region, &parent);
+            if m.is_crowded() {
+                crowded_mem.push(m.placement().memory);
+            } else {
+                normal_mem.push(m.placement().memory);
+            }
+        }
+        assert!(!crowded_mem.is_empty(), "centralus should crowd ~30%");
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&crowded_mem) < avg(&normal_mem));
+    }
+
+    #[test]
+    fn epoch_advances() {
+        let parent = Rng::seed_from(8);
+        let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &parent);
+        assert_eq!(m.epoch(), 0);
+        m.observe(&demand());
+        m.advance(5);
+        assert_eq!(m.epoch(), 6);
+    }
+
+    #[test]
+    fn identity_stable_across_observations() {
+        let parent = Rng::seed_from(9);
+        let mut m = Machine::provision(3, &VmSku::c220g5(), &Region::cloudlab(), &parent);
+        let before = m.identity();
+        for _ in 0..10 {
+            m.observe(&demand());
+        }
+        assert_eq!(m.identity(), before);
+    }
+}

@@ -1,0 +1,241 @@
+//! Microbenchmarks and application benchmarks for the measurement study.
+//!
+//! Mirrors the paper's §3.2 instrument set: per-component microbenchmarks
+//! (sysbench prime verification for CPU, fio random writes for disk, Intel
+//! MLC for memory bandwidth, OSBench thread creation for OS, stress-ng for
+//! cache) plus end-to-end application benchmarks (pgbench read/write,
+//! redis-benchmark write-heavy).
+
+use crate::components::ComponentVec;
+use crate::machine::Machine;
+
+/// Whether larger or smaller benchmark readings are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchDirection {
+    /// Higher readings are better (throughput, bandwidth).
+    HigherIsBetter,
+    /// Lower readings are better (latency, creation time).
+    LowerIsBetter,
+}
+
+/// A benchmark from the longitudinal-study instrument set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microbenchmark {
+    /// Display name, e.g. `"sysbench-cpu-prime"`.
+    pub name: &'static str,
+    /// Component utilization the benchmark drives.
+    pub demand: ComponentVec,
+    /// Nominal reading on a perfectly nominal machine (units vary:
+    /// events/s, MB/s, GB/s, microseconds, ...).
+    pub nominal: f64,
+    /// Reading direction.
+    pub direction: BenchDirection,
+    /// Whether this is an end-to-end application benchmark.
+    pub application: bool,
+}
+
+impl Microbenchmark {
+    /// CPU: sysbench prime verification (events/s).
+    pub fn sysbench_cpu() -> Self {
+        Microbenchmark {
+            name: "sysbench-cpu-prime",
+            demand: ComponentVec::new(1.0, 0.0, 0.005, 0.005, 0.003),
+            nominal: 9_800.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: false,
+        }
+    }
+
+    /// Disk: fio random writes via libaio (MB/s).
+    pub fn fio_randwrite() -> Self {
+        Microbenchmark {
+            name: "fio-randwrite-aio",
+            demand: ComponentVec::new(0.04, 1.0, 0.02, 0.0, 0.01),
+            nominal: 410.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: false,
+        }
+    }
+
+    /// Memory: Intel MLC max bandwidth 1:1 R/W (GB/s). The Figure 6 series
+    /// sits in the 60-75 GB/s band.
+    pub fn mlc_bandwidth() -> Self {
+        Microbenchmark {
+            name: "mlc-maxbw-1to1",
+            demand: ComponentVec::new(0.15, 0.0, 1.0, 0.25, 0.0),
+            nominal: 69.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: false,
+        }
+    }
+
+    /// OS: OSBench thread creation (microseconds per thread, lower is
+    /// better).
+    pub fn osbench_threads() -> Self {
+        Microbenchmark {
+            name: "osbench-create-threads",
+            demand: ComponentVec::new(0.03, 0.0, 0.02, 0.01, 1.0),
+            nominal: 18.5,
+            direction: BenchDirection::LowerIsBetter,
+            application: false,
+        }
+    }
+
+    /// Cache: stress-ng cache stressor (bogo-ops/s).
+    pub fn stressng_cache() -> Self {
+        Microbenchmark {
+            name: "stress-ng-cache",
+            demand: ComponentVec::new(0.05, 0.0, 0.05, 1.0, 0.01),
+            nominal: 1_450_000.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: false,
+        }
+    }
+
+    /// Application: pgbench read/write, dataset >> memory (tx/s).
+    pub fn pgbench_rw() -> Self {
+        Microbenchmark {
+            name: "pgbench-rw",
+            demand: ComponentVec::new(0.35, 0.85, 0.45, 0.35, 0.25),
+            nominal: 6_200.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: true,
+        }
+    }
+
+    /// Application: redis-benchmark write-heavy (requests/s); saturates a
+    /// core, so it is credit-sensitive on burstable SKUs.
+    pub fn redis_benchmark() -> Self {
+        Microbenchmark {
+            name: "redis-benchmark-write",
+            demand: ComponentVec::new(0.90, 0.05, 0.70, 0.60, 0.40),
+            nominal: 143_000.0,
+            direction: BenchDirection::HigherIsBetter,
+            application: true,
+        }
+    }
+
+    /// The five primary per-component microbenchmarks of Figure 4, in the
+    /// figure's order (CPU, Disk, Mem, OS, Cache).
+    pub fn primary_five() -> Vec<Microbenchmark> {
+        vec![
+            Self::sysbench_cpu(),
+            Self::fio_randwrite(),
+            Self::mlc_bandwidth(),
+            Self::osbench_threads(),
+            Self::stressng_cache(),
+        ]
+    }
+
+    /// The full instrument set used by the study driver.
+    pub fn catalog() -> Vec<Microbenchmark> {
+        let mut v = Self::primary_five();
+        v.push(Self::pgbench_rw());
+        v.push(Self::redis_benchmark());
+        v
+    }
+
+    /// Runs the benchmark for one measurement epoch on `machine` and
+    /// returns the reading in the benchmark's native units.
+    pub fn run(&self, machine: &mut Machine) -> f64 {
+        let snap = machine.observe(&self.demand);
+        let speed = self.demand.normalized().weighted_geomean(&snap.speeds);
+        let scaled = machine.perf_scale().powf(0.5); // Microbenches partially scale with HW.
+        match self.direction {
+            BenchDirection::HigherIsBetter => self.nominal * speed * scaled,
+            BenchDirection::LowerIsBetter => self.nominal / (speed * scaled),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::sku::VmSku;
+    use tuna_stats::online::Welford;
+    use tuna_stats::rng::Rng;
+
+    fn machine(seed: u64) -> Machine {
+        Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &Rng::seed_from(seed))
+    }
+
+    /// CoV of a benchmark across many freshly provisioned VMs.
+    fn fleet_cov(bench: &Microbenchmark, n: usize) -> f64 {
+        let parent = Rng::seed_from(1234);
+        let sku = VmSku::d8s_v5();
+        let region = Region::westus2();
+        let mut w = Welford::new();
+        for id in 0..n as u64 {
+            let mut m = Machine::provision(id, &sku, &region, &parent);
+            w.push(bench.run(&mut m));
+        }
+        w.cov()
+    }
+
+    #[test]
+    fn component_covs_ordered_like_figure4() {
+        let cpu = fleet_cov(&Microbenchmark::sysbench_cpu(), 800);
+        let disk = fleet_cov(&Microbenchmark::fio_randwrite(), 800);
+        let mem = fleet_cov(&Microbenchmark::mlc_bandwidth(), 800);
+        let os = fleet_cov(&Microbenchmark::osbench_threads(), 800);
+        let cache = fleet_cov(&Microbenchmark::stressng_cache(), 800);
+        assert!(cpu < 0.01, "cpu CoV {cpu}");
+        assert!(disk < 0.01, "disk CoV {disk}");
+        assert!(mem > 0.02 && mem < 0.09, "mem CoV {mem}");
+        assert!(os > 0.05 && os < 0.16, "os CoV {os}");
+        assert!(cache > 0.08 && cache < 0.22, "cache CoV {cache}");
+        assert!(cpu < disk && disk < mem && mem < os && os < cache);
+    }
+
+    #[test]
+    fn readings_near_nominal() {
+        let mut m = machine(5);
+        for b in Microbenchmark::catalog() {
+            let r = b.run(&mut m);
+            assert!(
+                r > b.nominal * 0.5 && r < b.nominal * 1.5,
+                "{}: {r} vs nominal {}",
+                b.name,
+                b.nominal
+            );
+        }
+    }
+
+    #[test]
+    fn lower_is_better_inverts() {
+        // A slow machine should give *higher* thread-creation time.
+        let parent = Rng::seed_from(9);
+        let crowded_region = Region::centralus();
+        let bench = Microbenchmark::osbench_threads();
+        let mut slow_readings = Vec::new();
+        let mut fast_readings = Vec::new();
+        for id in 0..300 {
+            let mut m = Machine::provision(id, &VmSku::d8s_v5(), &crowded_region, &parent);
+            let crowded = m.is_crowded();
+            let r = bench.run(&mut m);
+            if crowded {
+                slow_readings.push(r);
+            } else {
+                fast_readings.push(r);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&slow_readings) > avg(&fast_readings));
+    }
+
+    #[test]
+    fn catalog_has_unique_names() {
+        let names: Vec<&str> = Microbenchmark::catalog().iter().map(|b| b.name).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn application_flags() {
+        assert!(!Microbenchmark::sysbench_cpu().application);
+        assert!(Microbenchmark::pgbench_rw().application);
+    }
+}

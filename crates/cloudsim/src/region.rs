@@ -1,0 +1,104 @@
+//! Cloud regions with distinct variability characteristics.
+//!
+//! §6.2 repeats the evaluation in `centralus` and observes "fewer
+//! high-performing machines" — a placement distribution with a heavier low
+//! tail. We model a region as a multiplier on the SKU's noise channels plus
+//! a *crowded-host subpopulation*: with probability `crowded_prob` a VM
+//! lands on a crowded host and loses `crowded_penalty` of its memory /
+//! cache / OS performance (plus a small CPU/disk tax).
+
+/// A cloud region (or the bare-metal "region" for CloudLab).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region name, e.g. `"westus2"`.
+    pub name: String,
+    /// Multiplier on the SKU's placement CoV.
+    pub placement_scale: f64,
+    /// Multiplier on the SKU's interference std.
+    pub interference_scale: f64,
+    /// Probability a freshly placed VM lands on a crowded host.
+    pub crowded_prob: f64,
+    /// Fractional performance penalty on memory/cache/OS for crowded hosts.
+    pub crowded_penalty: f64,
+}
+
+impl Region {
+    /// `westus2` — the paper's primary region.
+    pub fn westus2() -> Self {
+        Region {
+            name: "westus2".to_string(),
+            placement_scale: 1.0,
+            interference_scale: 1.0,
+            crowded_prob: 0.04,
+            crowded_penalty: 0.05,
+        }
+    }
+
+    /// `eastus` — slightly busier than westus2 in the paper's Figure 4.
+    pub fn eastus() -> Self {
+        Region {
+            name: "eastus".to_string(),
+            placement_scale: 1.08,
+            interference_scale: 1.05,
+            crowded_prob: 0.06,
+            crowded_penalty: 0.05,
+        }
+    }
+
+    /// `centralus` — the higher-variability region of §6.2, with a heavier
+    /// crowded-host subpopulation ("fewer high-performing machines").
+    pub fn centralus() -> Self {
+        Region {
+            name: "centralus".to_string(),
+            placement_scale: 1.25,
+            interference_scale: 1.25,
+            crowded_prob: 0.30,
+            crowded_penalty: 0.10,
+        }
+    }
+
+    /// CloudLab — isolated bare metal; no crowded hosts.
+    pub fn cloudlab() -> Self {
+        Region {
+            name: "cloudlab".to_string(),
+            placement_scale: 1.0,
+            interference_scale: 1.0,
+            crowded_prob: 0.0,
+            crowded_penalty: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralus_noisier_than_westus2() {
+        let c = Region::centralus();
+        let w = Region::westus2();
+        assert!(c.placement_scale > w.placement_scale);
+        assert!(c.crowded_prob > w.crowded_prob);
+    }
+
+    #[test]
+    fn cloudlab_has_no_crowding() {
+        let r = Region::cloudlab();
+        assert_eq!(r.crowded_prob, 0.0);
+        assert_eq!(r.crowded_penalty, 0.0);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names = [
+            Region::westus2().name,
+            Region::eastus().name,
+            Region::centralus().name,
+            Region::cloudlab().name,
+        ];
+        let mut unique = names.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

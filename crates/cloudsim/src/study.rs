@@ -1,0 +1,421 @@
+//! Longitudinal cloud measurement study driver (§3.2, Table 1).
+//!
+//! Replays the paper's methodology at configurable scale: long-running VMs
+//! sampled repeatedly for the study duration versus fleets of short-lived
+//! VMs (provision → measure → deprovision) that sample placement diversity,
+//! across regions and SKUs. The report regenerates:
+//!
+//! - Figure 3 (burstable vs non-burstable application benchmarks),
+//! - Figure 4 (component microbenchmark variance),
+//! - Figure 6 (long- vs short-running memory bandwidth by month),
+//! - Table 1's "This Work" row (instances / samples / duration).
+
+use crate::machine::Machine;
+use crate::microbench::Microbenchmark;
+use crate::region::Region;
+use crate::sku::VmSku;
+use tuna_stats::online::Welford;
+use tuna_stats::rng::{hash_combine, Rng};
+
+/// VM lifespan class in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lifespan {
+    /// Runs the entire study; seldom migrates.
+    Long,
+    /// Provisioned, measured once, deprovisioned.
+    Short,
+}
+
+impl std::fmt::Display for Lifespan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lifespan::Long => write!(f, "long"),
+            Lifespan::Short => write!(f, "short"),
+        }
+    }
+}
+
+/// Study scale and instrument configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Duration in weeks (paper: 68).
+    pub weeks: usize,
+    /// Regions to cover (paper: westus2, eastus).
+    pub regions: Vec<Region>,
+    /// SKUs to cover (paper: D8s_v5, B8ms).
+    pub skus: Vec<VmSku>,
+    /// Long-running VMs per (region, SKU) pair (paper: 3).
+    pub long_vms_per_combo: usize,
+    /// Short-lived VMs provisioned per week per (region, SKU) pair.
+    pub short_vms_per_week: usize,
+    /// Measurement sessions per long VM per week.
+    pub long_sessions_per_week: usize,
+    /// Idle epochs between long-VM sessions (decorrelates interference).
+    pub gap_steps: usize,
+    /// Benchmarks to run each session.
+    pub benches: Vec<Microbenchmark>,
+    /// Whether to retain raw samples (needed for distribution figures).
+    pub keep_samples: bool,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// A scaled-down default that finishes in well under a second but
+    /// preserves the paper's proportions (~1/25 of the sample count).
+    pub fn scaled_default() -> Self {
+        StudyConfig {
+            weeks: 68,
+            regions: vec![Region::westus2(), Region::eastus()],
+            skus: vec![VmSku::d8s_v5(), VmSku::b8ms()],
+            long_vms_per_combo: 3,
+            short_vms_per_week: 40,
+            long_sessions_per_week: 21,
+            gap_steps: 12,
+            benches: Microbenchmark::catalog(),
+            keep_samples: true,
+            seed: 2023_0528,
+        }
+    }
+
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        StudyConfig {
+            weeks: 8,
+            short_vms_per_week: 10,
+            long_sessions_per_week: 6,
+            ..Self::scaled_default()
+        }
+    }
+
+    /// Full-scale configuration approximating the paper's 43k instances.
+    pub fn full_scale() -> Self {
+        StudyConfig {
+            short_vms_per_week: 160,
+            ..Self::scaled_default()
+        }
+    }
+}
+
+/// Identifies one measurement series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeriesKey {
+    /// Benchmark name.
+    pub bench: String,
+    /// Region name.
+    pub region: String,
+    /// SKU name.
+    pub sku: String,
+    /// VM lifespan class.
+    pub lifespan: Lifespan,
+}
+
+/// Aggregates for one series.
+#[derive(Debug, Clone)]
+pub struct StudySeries {
+    /// Series identity.
+    pub key: SeriesKey,
+    /// Whole-study statistics.
+    pub overall: Welford,
+    /// Per-month (4-week bucket) statistics, for Figure 6.
+    pub monthly: Vec<Welford>,
+    /// Raw samples (present when `keep_samples`).
+    pub samples: Vec<f64>,
+}
+
+impl StudySeries {
+    fn new(key: SeriesKey, months: usize) -> Self {
+        StudySeries {
+            key,
+            overall: Welford::new(),
+            monthly: vec![Welford::new(); months],
+            samples: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, month: usize, value: f64, keep: bool) {
+        self.overall.push(value);
+        if let Some(m) = self.monthly.get_mut(month) {
+            m.push(value);
+        }
+        if keep {
+            self.samples.push(value);
+        }
+    }
+
+    /// Samples normalized by the series mean ("relative performance" in
+    /// Figures 3 and 4).
+    pub fn relative_samples(&self) -> Vec<f64> {
+        let mean = self.overall.mean();
+        if mean == 0.0 {
+            return Vec::new();
+        }
+        self.samples.iter().map(|s| s / mean).collect()
+    }
+}
+
+/// Study output.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// All measurement series.
+    pub series: Vec<StudySeries>,
+    /// Total measurements taken.
+    pub total_samples: u64,
+    /// Total VM instances used (long + short).
+    pub total_instances: u64,
+    /// Study duration in weeks.
+    pub weeks: usize,
+}
+
+impl StudyReport {
+    /// Looks up a series.
+    pub fn series(
+        &self,
+        bench: &str,
+        region: &str,
+        sku: &str,
+        lifespan: Lifespan,
+    ) -> Option<&StudySeries> {
+        self.series.iter().find(|s| {
+            s.key.bench == bench
+                && s.key.region == region
+                && s.key.sku == sku
+                && s.key.lifespan == lifespan
+        })
+    }
+
+    /// CoV of a series, if present.
+    pub fn cov(&self, bench: &str, region: &str, sku: &str, lifespan: Lifespan) -> Option<f64> {
+        self.series(bench, region, sku, lifespan)
+            .map(|s| s.overall.cov())
+    }
+
+    /// Pools the short-lifespan CoV of `bench` on `sku` across all
+    /// regions, weighting by sample count.
+    pub fn pooled_short_cov(&self, bench: &str, sku: &str) -> Option<f64> {
+        let mut pooled = Welford::new();
+        for s in &self.series {
+            if s.key.bench == bench && s.key.sku == sku && s.key.lifespan == Lifespan::Short {
+                pooled.merge(&s.overall);
+            }
+        }
+        if pooled.count() == 0 {
+            None
+        } else {
+            Some(pooled.cov())
+        }
+    }
+}
+
+/// Runs the study.
+pub fn run_study(config: &StudyConfig) -> StudyReport {
+    let months = (config.weeks + 3) / 4;
+    let root = Rng::seed_from(hash_combine(config.seed, 0x57D7_0001));
+    let mut series: Vec<StudySeries> = Vec::new();
+    let mut total_samples = 0u64;
+    let mut total_instances = 0u64;
+
+    let series_index = |series: &mut Vec<StudySeries>, key: SeriesKey| -> usize {
+        if let Some(i) = series.iter().position(|s| s.key == key) {
+            i
+        } else {
+            series.push(StudySeries::new(key, months));
+            series.len() - 1
+        }
+    };
+
+    let mut next_vm_id = 0u64;
+    for region in &config.regions {
+        for sku in &config.skus {
+            // Long-running VMs: provisioned once, sampled all study long.
+            let mut long_vms: Vec<Machine> = (0..config.long_vms_per_combo)
+                .map(|_| {
+                    next_vm_id += 1;
+                    total_instances += 1;
+                    Machine::provision(next_vm_id, sku, region, &root)
+                })
+                .collect();
+            for week in 0..config.weeks {
+                let month = week / 4;
+                for vm in &mut long_vms {
+                    for _ in 0..config.long_sessions_per_week {
+                        for bench in &config.benches {
+                            let reading = bench.run(vm);
+                            let key = SeriesKey {
+                                bench: bench.name.to_string(),
+                                region: region.name.clone(),
+                                sku: sku.name.clone(),
+                                lifespan: Lifespan::Long,
+                            };
+                            let idx = series_index(&mut series, key);
+                            series[idx].push(month, reading, config.keep_samples);
+                            total_samples += 1;
+                        }
+                        vm.advance(config.gap_steps);
+                    }
+                }
+            }
+
+            // Short-lived fleet: fresh placement per VM, one pass of the
+            // instrument set, then deprovision.
+            for week in 0..config.weeks {
+                let month = week / 4;
+                for _ in 0..config.short_vms_per_week {
+                    next_vm_id += 1;
+                    total_instances += 1;
+                    let mut vm = Machine::provision(next_vm_id, sku, region, &root);
+                    for bench in &config.benches {
+                        let reading = bench.run(&mut vm);
+                        let key = SeriesKey {
+                            bench: bench.name.to_string(),
+                            region: region.name.clone(),
+                            sku: sku.name.clone(),
+                            lifespan: Lifespan::Short,
+                        };
+                        let idx = series_index(&mut series, key);
+                        series[idx].push(month, reading, config.keep_samples);
+                        total_samples += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    StudyReport {
+        series,
+        total_samples,
+        total_instances,
+        weeks: config.weeks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_stats::summary;
+
+    fn quick_report() -> StudyReport {
+        run_study(&StudyConfig::quick())
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let cfg = StudyConfig::quick();
+        let r = quick_report();
+        let combos = cfg.regions.len() * cfg.skus.len();
+        let expected_instances =
+            combos * (cfg.long_vms_per_combo + cfg.weeks * cfg.short_vms_per_week);
+        assert_eq!(r.total_instances, expected_instances as u64);
+        let per_session = cfg.benches.len();
+        let expected_samples = combos
+            * per_session
+            * (cfg.long_vms_per_combo * cfg.weeks * cfg.long_sessions_per_week
+                + cfg.weeks * cfg.short_vms_per_week);
+        assert_eq!(r.total_samples, expected_samples as u64);
+    }
+
+    #[test]
+    fn figure4_component_ordering_holds_for_short_fleet() {
+        let r = quick_report();
+        let cov = |bench: &str| {
+            r.cov(bench, "westus2", "Standard_D8s_v5", Lifespan::Short)
+                .unwrap()
+        };
+        let cpu = cov("sysbench-cpu-prime");
+        let disk = cov("fio-randwrite-aio");
+        let mem = cov("mlc-maxbw-1to1");
+        let os = cov("osbench-create-threads");
+        let cache = cov("stress-ng-cache");
+        assert!(cpu < 0.012, "cpu {cpu}");
+        assert!(disk < 0.012, "disk {disk}");
+        assert!(cpu < mem && mem < cache, "cpu {cpu} mem {mem} cache {cache}");
+        assert!(mem > 0.02, "mem {mem}");
+        assert!(os > 0.05, "os {os}");
+        assert!(cache > 0.08, "cache {cache}");
+    }
+
+    #[test]
+    fn burstable_apps_have_higher_variance_than_nonburstable() {
+        let r = quick_report();
+        let b = r
+            .cov("pgbench-rw", "westus2", "Standard_B8ms", Lifespan::Short)
+            .unwrap();
+        let nb = r
+            .cov("pgbench-rw", "westus2", "Standard_D8s_v5", Lifespan::Short)
+            .unwrap();
+        assert!(b > nb * 2.0, "burstable {b} vs non-burstable {nb}");
+    }
+
+    #[test]
+    fn burstable_pgbench_is_bimodal() {
+        // Figure 3: credit depletion creates a low-performance mode below
+        // 60% of the mean that essentially never occurs on non-burstable.
+        let r = quick_report();
+        let bs = r
+            .series("pgbench-rw", "westus2", "Standard_B8ms", Lifespan::Short)
+            .unwrap()
+            .relative_samples();
+        let nb = r
+            .series("pgbench-rw", "westus2", "Standard_D8s_v5", Lifespan::Short)
+            .unwrap()
+            .relative_samples();
+        let low_frac =
+            |v: &[f64]| v.iter().filter(|&&x| x < 0.75).count() as f64 / v.len() as f64;
+        assert!(low_frac(&bs) > 0.05, "burstable low mode {}", low_frac(&bs));
+        assert!(low_frac(&nb) < 0.01, "non-burstable {}", low_frac(&nb));
+    }
+
+    #[test]
+    fn long_vms_see_less_dispersion_than_short_fleet() {
+        // Figure 6's point: a single long-lived VM does not capture the
+        // across-placement variance the short fleet sees.
+        let r = quick_report();
+        let long = r
+            .cov("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+            .unwrap();
+        let short = r
+            .cov(
+                "mlc-maxbw-1to1",
+                "westus2",
+                "Standard_D8s_v5",
+                Lifespan::Short,
+            )
+            .unwrap();
+        assert!(long < short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn monthly_series_cover_study() {
+        let r = quick_report();
+        let s = r
+            .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+            .unwrap();
+        assert_eq!(s.monthly.len(), 2); // 8 weeks = 2 months.
+        assert!(s.monthly.iter().all(|m| m.count() > 0));
+    }
+
+    #[test]
+    fn relative_samples_centred_on_one() {
+        let r = quick_report();
+        let s = r
+            .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Short)
+            .unwrap();
+        let rel = s.relative_samples();
+        assert!(!rel.is_empty());
+        assert!((summary::mean(&rel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = quick_report();
+        let b = quick_report();
+        assert_eq!(a.total_samples, b.total_samples);
+        let sa = a
+            .series("pgbench-rw", "eastus", "Standard_B8ms", Lifespan::Short)
+            .unwrap();
+        let sb = b
+            .series("pgbench-rw", "eastus", "Standard_B8ms", Lifespan::Short)
+            .unwrap();
+        assert_eq!(sa.overall.mean(), sb.overall.mean());
+    }
+}

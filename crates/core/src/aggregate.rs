@@ -1,0 +1,109 @@
+//! Sample aggregation policies (§4.4).
+//!
+//! TUNA reports a single value per config to the optimizer. The paper
+//! selects **min** (worst case) because mean and median can hide outliers,
+//! and because optimizing the worst case is what makes the eventual
+//! deployment robust; with the outlier detector bounding the spread of
+//! stable configs to 30%, the worst case is a tight lower bound.
+//!
+//! "Worst case" is orientation-aware: minimum throughput, but maximum
+//! runtime/latency.
+
+use tuna_optimizer::Objective;
+use tuna_stats::summary;
+
+/// How cross-node samples collapse to one reported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationPolicy {
+    /// The paper's choice: the worst observed value.
+    WorstCase,
+    /// Arithmetic mean.
+    Mean,
+    /// Median.
+    Median,
+    /// The best observed value (for ablations).
+    BestCase,
+}
+
+impl AggregationPolicy {
+    /// Aggregates `values` under the given objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn aggregate(&self, values: &[f64], objective: Objective) -> f64 {
+        assert!(!values.is_empty(), "aggregate of no samples");
+        match self {
+            AggregationPolicy::WorstCase => match objective {
+                Objective::Maximize => summary::min(values).expect("non-empty"),
+                Objective::Minimize => summary::max(values).expect("non-empty"),
+            },
+            AggregationPolicy::Mean => summary::mean(values),
+            AggregationPolicy::Median => summary::median(values),
+            AggregationPolicy::BestCase => match objective {
+                Objective::Maximize => summary::max(values).expect("non-empty"),
+                Objective::Minimize => summary::min(values).expect("non-empty"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALUES: [f64; 3] = [500.0, 450.0, 530.0];
+
+    #[test]
+    fn worst_case_is_min_for_throughput() {
+        // The Figure 10 walkthrough reports min = 450 (pre-adjustment).
+        let v = AggregationPolicy::WorstCase.aggregate(&VALUES, Objective::Maximize);
+        assert_eq!(v, 450.0);
+    }
+
+    #[test]
+    fn worst_case_is_max_for_latency() {
+        let v = AggregationPolicy::WorstCase.aggregate(&VALUES, Objective::Minimize);
+        assert_eq!(v, 530.0);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert!(
+            (AggregationPolicy::Mean.aggregate(&VALUES, Objective::Maximize) - 493.333).abs()
+                < 0.001
+        );
+        assert_eq!(
+            AggregationPolicy::Median.aggregate(&VALUES, Objective::Maximize),
+            500.0
+        );
+    }
+
+    #[test]
+    fn best_case_flips_worst() {
+        assert_eq!(
+            AggregationPolicy::BestCase.aggregate(&VALUES, Objective::Maximize),
+            530.0
+        );
+        assert_eq!(
+            AggregationPolicy::BestCase.aggregate(&VALUES, Objective::Minimize),
+            450.0
+        );
+    }
+
+    #[test]
+    fn worst_case_penalizes_unstable_configs_more_than_mean() {
+        // An unstable config with one deep outlier: min punishes it, mean
+        // hides it — the §4.4 rationale.
+        let unstable = [1000.0, 990.0, 200.0];
+        let min = AggregationPolicy::WorstCase.aggregate(&unstable, Objective::Maximize);
+        let mean = AggregationPolicy::Mean.aggregate(&unstable, Objective::Maximize);
+        assert!(min < mean * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        AggregationPolicy::Mean.aggregate(&[], Objective::Maximize);
+    }
+}

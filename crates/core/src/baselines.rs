@@ -1,0 +1,184 @@
+//! The paper's comparison baselines (§6, §6.5).
+//!
+//! - [`run_traditional`]: the state-of-the-art prior setup — a single node
+//!   sequentially evaluating suggested configurations with no repeats.
+//! - Extended traditional (§6.5.1) is `run_traditional` with the sample
+//!   budget raised to TUNA's total sample count.
+//! - [`run_naive_distributed`] (§6.5.2): every config runs on every node
+//!   of the cluster, min-aggregated — robust but extremely sample-hungry.
+
+use crate::pipeline::{IterationRecord, TuningResult};
+use tuna_cloudsim::Cluster;
+use tuna_optimizer::Optimizer;
+use tuna_stats::rng::Rng;
+use tuna_sut::SystemUnderTest;
+use tuna_workloads::Workload;
+
+/// Traditional single-node sampling: one sample per suggestion, all on the
+/// same worker (worker 0 of `cluster`).
+pub fn run_traditional(
+    sut: &dyn SystemUnderTest,
+    workload: &Workload,
+    mut optimizer: Box<dyn Optimizer>,
+    mut cluster: Cluster,
+    samples: usize,
+    crash_penalty: f64,
+    rng: &mut Rng,
+) -> TuningResult {
+    let mut trace = Vec::with_capacity(samples);
+    let mut n_configs = 0;
+    for round in 0..samples {
+        let suggestion = optimizer.ask(rng);
+        n_configs += 1;
+        let outcome = sut.run(&suggestion.config, workload, cluster.machine_mut(0), rng);
+        let value = if outcome.crashed {
+            crash_penalty
+        } else {
+            outcome.value
+        };
+        optimizer.tell(&suggestion.config, value, 1);
+        trace.push(IterationRecord {
+            round: round + 1,
+            config_id: suggestion.config.id(),
+            budget: 1,
+            new_samples: 1,
+            reported: value,
+            unstable: false,
+            best_so_far: optimizer.best().map(|(_, v)| v),
+            cumulative_samples: round + 1,
+            model_error: None,
+        });
+    }
+    let (best_config, best_value) = optimizer.best().expect("at least one sample");
+    TuningResult {
+        best_config,
+        best_value,
+        trace,
+        total_samples: samples,
+        n_unstable_configs: 0,
+        n_configs,
+        model_errors: Vec::new(),
+    }
+}
+
+/// Naive distributed sampling: every suggestion runs on *all* workers;
+/// the worst observation is reported (same aggregation as TUNA so the
+/// §6.5.2 comparison isolates the scheduling policy).
+pub fn run_naive_distributed(
+    sut: &dyn SystemUnderTest,
+    workload: &Workload,
+    mut optimizer: Box<dyn Optimizer>,
+    mut cluster: Cluster,
+    sample_budget: usize,
+    crash_penalty: f64,
+    rng: &mut Rng,
+) -> TuningResult {
+    let n = cluster.size();
+    let objective = optimizer.objective();
+    let mut trace = Vec::new();
+    let mut total = 0usize;
+    let mut round = 0usize;
+    let mut n_configs = 0usize;
+    while total + n <= sample_budget {
+        let suggestion = optimizer.ask(rng);
+        n_configs += 1;
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let outcome = sut.run(&suggestion.config, workload, cluster.machine_mut(i), rng);
+            values.push(if outcome.crashed {
+                crash_penalty
+            } else {
+                outcome.value
+            });
+        }
+        total += n;
+        round += 1;
+        let reported = crate::aggregate::AggregationPolicy::WorstCase.aggregate(&values, objective);
+        // Told at the cluster budget so `best()` trusts these fully.
+        optimizer.tell(&suggestion.config, reported, n);
+        trace.push(IterationRecord {
+            round,
+            config_id: suggestion.config.id(),
+            budget: n,
+            new_samples: n,
+            reported,
+            unstable: false,
+            best_so_far: optimizer.best().map(|(_, v)| v),
+            cumulative_samples: total,
+            model_error: None,
+        });
+    }
+    let (best_config, best_value) = optimizer.best().expect("at least one round");
+    TuningResult {
+        best_config,
+        best_value,
+        trace,
+        total_samples: total,
+        n_unstable_configs: 0,
+        n_configs,
+        model_errors: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_cloudsim::{Region, VmSku};
+    use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+    use tuna_optimizer::Objective;
+    use tuna_sut::postgres::Postgres;
+
+    fn cluster(seed: u64, n: usize) -> Cluster {
+        Cluster::new(n, VmSku::d8s_v5(), Region::westus2(), seed)
+    }
+
+    fn smac(pg: &Postgres) -> Box<dyn Optimizer> {
+        Box::new(SmacOptimizer::new(
+            pg.space().clone(),
+            Objective::Maximize,
+            SmacParams {
+                n_init: 5,
+                n_random_candidates: 40,
+                ..SmacParams::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn traditional_consumes_exactly_one_sample_per_round() {
+        let pg = Postgres::new();
+        let w = tuna_workloads::tpcc();
+        let mut rng = Rng::seed_from(1);
+        let result = run_traditional(&pg, &w, smac(&pg), cluster(1, 1), 30, 1.0, &mut rng);
+        assert_eq!(result.total_samples, 30);
+        assert_eq!(result.trace.len(), 30);
+        assert!(result.best_value > 300.0);
+        assert!(result.trace.iter().all(|r| r.budget == 1));
+    }
+
+    #[test]
+    fn naive_distributed_uses_full_cluster_per_round() {
+        let pg = Postgres::new();
+        let w = tuna_workloads::tpcc();
+        let mut rng = Rng::seed_from(2);
+        let result =
+            run_naive_distributed(&pg, &w, smac(&pg), cluster(2, 10), 100, 1.0, &mut rng);
+        assert_eq!(result.total_samples, 100);
+        assert_eq!(result.trace.len(), 10);
+        assert!(result.trace.iter().all(|r| r.new_samples == 10));
+    }
+
+    #[test]
+    fn best_so_far_improves_monotonically_traditional() {
+        let pg = Postgres::new();
+        let w = tuna_workloads::tpcc();
+        let mut rng = Rng::seed_from(3);
+        let result = run_traditional(&pg, &w, smac(&pg), cluster(3, 1), 40, 1.0, &mut rng);
+        let mut prev = f64::NEG_INFINITY;
+        for r in &result.trace {
+            let b = r.best_so_far.unwrap();
+            assert!(b >= prev - 1e-9, "best-so-far regressed");
+            prev = b;
+        }
+    }
+}

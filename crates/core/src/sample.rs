@@ -1,0 +1,45 @@
+//! Sample records flowing through the TUNA pipeline.
+
+use tuna_metrics::MetricVector;
+
+/// One measurement of a configuration on a worker.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Worker index within the tuning cluster (0-based).
+    pub machine_idx: usize,
+    /// Raw metric value as measured.
+    pub raw: f64,
+    /// Value after noise adjustment (equals `raw` until adjusted).
+    pub adjusted: f64,
+    /// Guest metrics collected during the run.
+    pub metrics: MetricVector,
+    /// Whether the SuT crashed during this run.
+    pub crashed: bool,
+}
+
+impl Sample {
+    /// Creates a sample with `adjusted == raw`.
+    pub fn new(machine_idx: usize, raw: f64, metrics: MetricVector, crashed: bool) -> Self {
+        Sample {
+            machine_idx,
+            raw,
+            adjusted: raw,
+            metrics,
+            crashed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjusted_starts_at_raw() {
+        let m = MetricVector::new(vec![0.0; tuna_metrics::SCHEMA.len()]);
+        let s = Sample::new(3, 42.0, m, false);
+        assert_eq!(s.adjusted, 42.0);
+        assert_eq!(s.machine_idx, 3);
+        assert!(!s.crashed);
+    }
+}

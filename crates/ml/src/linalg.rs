@@ -1,0 +1,314 @@
+//! Minimal dense linear algebra for Gaussian-process regression.
+//!
+//! Only what the GP needs: a row-major matrix, Cholesky factorization and
+//! triangular solves. Sizes stay modest (hundreds of observations), so a
+//! straightforward O(n^3) implementation is appropriate.
+
+use crate::MlError;
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to the diagonal (jitter / noise term).
+    pub fn add_diagonal(&mut self, v: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let cur = self.get(i, i);
+            self.set(i, i, cur + v);
+        }
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+}
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a` (symmetric positive definite) as `L L^T`.
+    ///
+    /// Returns [`MlError::NotPositiveDefinite`] when a pivot is
+    /// non-positive, which for GP kernels signals insufficient jitter.
+    pub fn factor(a: &Matrix) -> Result<Self, MlError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(MlError::ShapeMismatch {
+                detail: format!("cholesky of {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(MlError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "solve dimension mismatch");
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * z[k];
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        z
+    }
+
+    /// Solves `L^T x = b` (back substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "solve dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L L^T`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log(det(A)) = 2 * sum(log(L_ii))`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_stats::rng::Rng;
+
+    fn random_spd(n: usize, rng: &mut Rng) -> Matrix {
+        // B * B^T + n * I is SPD.
+        let b = Matrix::from_fn(n, n, |_, _| rng.next_gaussian());
+        let mut a = b.matmul(&b.transpose());
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let mut rng = Rng::seed_from(21);
+        for n in [1usize, 2, 5, 12] {
+            let a = random_spd(n, &mut rng);
+            let ch = Cholesky::factor(&a).unwrap();
+            let rec = ch.l().matmul(&ch.l().transpose());
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (rec.get(i, j) - a.get(i, j)).abs() < 1e-8,
+                        "({i},{j}): {} vs {}",
+                        rec.get(i, j),
+                        a.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_matches_direct() {
+        let mut rng = Rng::seed_from(22);
+        let n = 8;
+        let a = random_spd(n, &mut rng);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        // [[1, 2], [2, 1]] has a negative eigenvalue.
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 1.0);
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            MlError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let ch = Cholesky::factor(&Matrix::identity(5)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_diagonal() {
+        let mut a = Matrix::identity(3);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 3.0);
+        a.set(2, 2, 4.0);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 24.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::seed_from(23);
+        let a = Matrix::from_fn(4, 4, |_, _| rng.next_gaussian());
+        let prod = a.matmul(&Matrix::identity(4));
+        assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::seed_from(24);
+        let a = Matrix::from_fn(3, 5, |_, _| rng.next_gaussian());
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_checks_shape() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,401 @@
+//! CART regression trees with variance-reduction splits.
+//!
+//! The building block of the random forest. Splits minimize the weighted
+//! sum of squared errors of the two children; candidate features can be
+//! subsampled per split (the `max_features` knob that decorrelates forest
+//! members).
+
+use crate::{check_xy, MlError};
+use tuna_stats::rng::Rng;
+
+/// Hyperparameters for a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to consider splitting a node.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `None` means all.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 24,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+        n: usize,
+    },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total SSE reduction attributed to each feature (for importances).
+    feature_gains: Vec<f64>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the training set is empty or ragged.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: TreeParams,
+        rng: &mut Rng,
+    ) -> Result<Self, MlError> {
+        let (_, cols) = check_xy(x, y)?;
+        let mut tree = RegressionTree {
+            params,
+            nodes: Vec::new(),
+            n_features: cols,
+            feature_gains: vec![0.0; cols],
+        };
+        let mut indices: Vec<usize> = (0..x.len()).collect();
+        tree.build(x, y, &mut indices, 0, rng);
+        Ok(tree)
+    }
+
+    /// Recursively builds the subtree over `indices`, returning its node id.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let n = indices.len();
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+
+        let must_leaf = depth >= self.params.max_depth
+            || n < self.params.min_samples_split
+            || n < 2 * self.params.min_samples_leaf;
+        if !must_leaf {
+            if let Some((feature, threshold, gain, split_at)) = self.best_split(x, y, indices, rng)
+            {
+                self.feature_gains[feature] += gain;
+                // Partition indices in place around the found threshold.
+                indices.sort_by(|&a, &b| {
+                    x[a][feature]
+                        .partial_cmp(&x[b][feature])
+                        .expect("NaN feature")
+                });
+                let (left_idx, right_idx) = indices.split_at_mut(split_at);
+                let node_id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean, n }); // Placeholder.
+                let left = self.build(x, y, left_idx, depth + 1, rng);
+                let right = self.build(x, y, right_idx, depth + 1, rng);
+                self.nodes[node_id] = Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                return node_id;
+            }
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean, n });
+        node_id
+    }
+
+    /// Finds the best (feature, threshold) split by SSE reduction.
+    ///
+    /// Returns `(feature, threshold, gain, left_count)` or `None` when no
+    /// split satisfies the leaf-size constraint or improves the SSE.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        rng: &mut Rng,
+    ) -> Option<(usize, f64, f64, usize)> {
+        let n = indices.len();
+        let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+        if parent_sse <= 1e-12 {
+            return None; // Pure node.
+        }
+
+        let k = self
+            .params
+            .max_features
+            .unwrap_or(self.n_features)
+            .clamp(1, self.n_features);
+        let features = if k == self.n_features {
+            (0..self.n_features).collect::<Vec<_>>()
+        } else {
+            rng.sample_indices(self.n_features, k)
+        };
+
+        let min_leaf = self.params.min_samples_leaf;
+        let mut best: Option<(usize, f64, f64, usize)> = None;
+        let mut order: Vec<usize> = indices.to_vec();
+        for &f in &features {
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("NaN feature"));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for pos in 0..n - 1 {
+                let yi = y[order[pos]];
+                left_sum += yi;
+                left_sq += yi * yi;
+                let left_n = pos + 1;
+                let right_n = n - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let xv = x[order[pos]][f];
+                let xn = x[order[pos + 1]][f];
+                if xn <= xv {
+                    continue; // Tied feature values cannot separate here.
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+                let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+                let gain = parent_sse - left_sse - right_sse;
+                if gain > best.map_or(1e-12, |b| b.2) {
+                    best = Some((f, 0.5 * (xv + xn), gain, left_n));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the training width.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (internal + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Depth of the tree (root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Per-feature total SSE reduction (unnormalized importances).
+    pub fn feature_gains(&self) -> &[f64] {
+        &self.feature_gains
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 0 for x < 0.5, y = 10 for x >= 0.5.
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 0.5 { 0.0 } else { 10.0 })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let (xs, ys) = step_data();
+        let mut rng = Rng::seed_from(1);
+        let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(t.predict(&[0.2]), 0.0);
+        assert_eq!(t.predict(&[0.9]), 10.0);
+        // One split suffices for a pure step.
+        assert_eq!(t.leaf_count(), 2);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.5; 50];
+        let mut rng = Rng::seed_from(2);
+        let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[17.0]), 3.5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = Rng::seed_from(3);
+        let xs: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..256).map(|i| (i % 7) as f64).collect();
+        let t = RegressionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(t.depth() <= 3, "depth {}", t.depth());
+        assert!(t.leaf_count() <= 8);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let mut rng = Rng::seed_from(4);
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                min_samples_leaf: 16,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(t.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn picks_informative_feature() {
+        // Feature 1 is pure noise; feature 0 fully determines y.
+        let mut rng = Rng::seed_from(5);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 2) as f64, rng.next_f64()])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 100.0).collect();
+        let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
+        assert!(t.feature_gains()[0] > t.feature_gains()[1] * 10.0);
+    }
+
+    #[test]
+    fn prediction_interpolates_training_means() {
+        let (xs, ys) = step_data();
+        let mut rng = Rng::seed_from(6);
+        let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
+        for x in &xs {
+            let p = t.predict(x);
+            assert!(p >= 0.0 && p <= 10.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = Rng::seed_from(7);
+        assert!(matches!(
+            RegressionTree::fit(&[], &[], TreeParams::default(), &mut rng),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            RegressionTree::fit(
+                &[vec![1.0], vec![2.0]],
+                &[1.0],
+                TreeParams::default(),
+                &mut rng
+            ),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            RegressionTree::fit(
+                &[vec![1.0], vec![2.0, 3.0]],
+                &[1.0, 2.0],
+                TreeParams::default(),
+                &mut rng
+            ),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_sample_is_leaf() {
+        let mut rng = Rng::seed_from(8);
+        let t =
+            RegressionTree::fit(&[vec![1.0, 2.0]], &[5.0], TreeParams::default(), &mut rng)
+                .unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn duplicate_feature_values_handled() {
+        // All x identical: no valid split exists.
+        let xs = vec![vec![1.0]; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut rng = Rng::seed_from(9);
+        let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict(&[1.0]) - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Observation history shared by the optimizers.
+
+use std::collections::HashMap;
+
+use tuna_space::{Config, ConfigId, ConfigSpace};
+
+/// One reported evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// The evaluated configuration.
+    pub config: Config,
+    /// Cost (already converted so smaller is better).
+    pub cost: f64,
+    /// Budget (number of nodes) the value was produced at.
+    pub budget: usize,
+}
+
+/// Per-config rollup: the latest cost at the highest budget seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigRecord {
+    /// The configuration.
+    pub config: Config,
+    /// Highest budget this config has been told at.
+    pub max_budget: usize,
+    /// Cost reported at that highest budget.
+    pub cost: f64,
+}
+
+/// Append-only store of observations with per-config rollups.
+///
+/// Rollups live in an insertion-ordered `Vec` (with a `HashMap` used only
+/// as an index), so surrogate training data and tie-breaking are
+/// deterministic — iterating a `HashMap` directly would randomize model
+/// fits between identical runs.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    observations: Vec<Observation>,
+    record_order: Vec<ConfigRecord>,
+    index: HashMap<ConfigId, usize>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records an observation.
+    pub fn push(&mut self, config: Config, cost: f64, budget: usize) {
+        let id = config.id();
+        self.observations.push(Observation {
+            config: config.clone(),
+            cost,
+            budget,
+        });
+        match self.index.get(&id) {
+            Some(&i) => {
+                let entry = &mut self.record_order[i];
+                if budget >= entry.max_budget {
+                    entry.max_budget = budget;
+                    entry.cost = cost;
+                }
+            }
+            None => {
+                self.index.insert(id, self.record_order.len());
+                self.record_order.push(ConfigRecord {
+                    config,
+                    max_budget: budget,
+                    cost,
+                });
+            }
+        }
+    }
+
+    /// All raw observations in arrival order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations exist.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Rollup for a config, if seen.
+    pub fn record(&self, id: ConfigId) -> Option<&ConfigRecord> {
+        self.index.get(&id).map(|&i| &self.record_order[i])
+    }
+
+    /// Iterates over per-config rollups in first-seen order.
+    pub fn records(&self) -> impl Iterator<Item = &ConfigRecord> {
+        self.record_order.iter()
+    }
+
+    /// Number of distinct configurations seen.
+    pub fn n_configs(&self) -> usize {
+        self.record_order.len()
+    }
+
+    /// The best (lowest-cost) rollup, preferring the highest budget tier
+    /// that has any record: a config measured on 10 nodes at cost c beats a
+    /// config measured on 1 node at cost c - eps, because only high-budget
+    /// measurements are trustworthy under cloud noise.
+    pub fn best(&self) -> Option<&ConfigRecord> {
+        let top_budget = self.record_order.iter().map(|r| r.max_budget).max()?;
+        self.record_order
+            .iter()
+            .filter(|r| r.max_budget == top_budget)
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("NaN cost"))
+    }
+
+    /// Training matrix for a surrogate: one row per distinct config (its
+    /// encoded form) and the cost at its highest budget.
+    pub fn surrogate_data(&self, space: &ConfigSpace) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::with_capacity(self.record_order.len());
+        let mut y = Vec::with_capacity(self.record_order.len());
+        for rec in self.records() {
+            x.push(space.encode(&rec.config));
+            y.push(rec.cost);
+        }
+        (x, y)
+    }
+
+    /// Like [`History::surrogate_data`] but one-hot encoded (for GPs).
+    pub fn surrogate_data_one_hot(&self, space: &ConfigSpace) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::with_capacity(self.record_order.len());
+        let mut y = Vec::with_capacity(self.record_order.len());
+        for rec in self.records() {
+            x.push(space.encode_one_hot(&rec.config));
+            y.push(rec.cost);
+        }
+        (x, y)
+    }
+
+    /// The `k` best distinct configs by rolled-up cost (any budget),
+    /// best first.
+    pub fn top_k(&self, k: usize) -> Vec<&ConfigRecord> {
+        let mut recs: Vec<&ConfigRecord> = self.record_order.iter().collect();
+        recs.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("NaN cost"));
+        recs.truncate(k);
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_space::ParamValue;
+
+    fn cfg(v: i64) -> Config {
+        Config::new(vec![ParamValue::Int(v)])
+    }
+
+    #[test]
+    fn rollup_keeps_highest_budget() {
+        let mut h = History::new();
+        h.push(cfg(1), 10.0, 1);
+        h.push(cfg(1), 12.0, 3);
+        h.push(cfg(1), 11.0, 2); // Lower budget: ignored by rollup.
+        let rec = h.record(cfg(1).id()).unwrap();
+        assert_eq!(rec.max_budget, 3);
+        assert_eq!(rec.cost, 12.0);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.n_configs(), 1);
+    }
+
+    #[test]
+    fn best_prefers_top_budget_tier() {
+        let mut h = History::new();
+        h.push(cfg(1), 1.0, 1); // Cheapest overall but low budget.
+        h.push(cfg(2), 5.0, 10);
+        h.push(cfg(3), 7.0, 10);
+        let best = h.best().unwrap();
+        assert_eq!(best.config, cfg(2));
+    }
+
+    #[test]
+    fn best_none_when_empty() {
+        assert!(History::new().best().is_none());
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let mut h = History::new();
+        h.push(cfg(1), 3.0, 1);
+        h.push(cfg(2), 1.0, 1);
+        h.push(cfg(3), 2.0, 1);
+        let top = h.top_k(2);
+        assert_eq!(top[0].config, cfg(2));
+        assert_eq!(top[1].config, cfg(3));
+    }
+
+    #[test]
+    fn surrogate_data_shapes() {
+        let space = tuna_space::ConfigSpace::builder().int("v", 0, 10).build();
+        let mut h = History::new();
+        h.push(cfg(1), 3.0, 1);
+        h.push(cfg(2), 1.0, 1);
+        h.push(cfg(1), 2.5, 3);
+        let (x, y) = h.surrogate_data(&space);
+        assert_eq!(x.len(), 2);
+        assert_eq!(y.len(), 2);
+        assert_eq!(x[0].len(), 1);
+    }
+}

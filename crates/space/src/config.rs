@@ -1,0 +1,151 @@
+//! Concrete configurations (one value per parameter of a space).
+
+use crate::param::ParamValue;
+use tuna_stats::rng::{hash64, hash_combine};
+
+/// Stable identity of a configuration, derived from its values.
+///
+/// Used by the datastore and the multi-fidelity scheduler to recognize a
+/// config across budgets regardless of where it is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(pub u64);
+
+impl std::fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cfg-{:016x}", self.0)
+    }
+}
+
+/// A concrete configuration: one [`ParamValue`] per parameter, in space
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    values: Vec<ParamValue>,
+}
+
+impl Config {
+    /// Creates a configuration from ordered values.
+    pub fn new(values: Vec<ParamValue>) -> Self {
+        Config { values }
+    }
+
+    /// The ordered values.
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the configuration has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> ParamValue {
+        self.values[i]
+    }
+
+    /// Replaces the value at position `i`, returning a new configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn with(&self, i: usize, v: ParamValue) -> Config {
+        let mut values = self.values.clone();
+        values[i] = v;
+        Config { values }
+    }
+
+    /// Stable content hash of the configuration.
+    ///
+    /// Floats hash by bit pattern, so two configs compare equal iff their
+    /// ids are equal (NaN never appears in valid configs).
+    pub fn id(&self) -> ConfigId {
+        let mut h = hash64(0xC0FF_EE00_u64 ^ self.values.len() as u64);
+        for v in &self.values {
+            let tag = match v {
+                ParamValue::Int(x) => hash_combine(1, *x as u64),
+                ParamValue::Float(x) => hash_combine(2, x.to_bits()),
+                ParamValue::Cat(x) => hash_combine(3, *x as u64),
+                ParamValue::Bool(x) => hash_combine(4, *x as u64),
+            };
+            h = hash_combine(h, tag);
+        }
+        ConfigId(h)
+    }
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> Config {
+        Config::new(vec![
+            ParamValue::Int(128),
+            ParamValue::Float(1.5),
+            ParamValue::Cat(2),
+            ParamValue::Bool(true),
+        ])
+    }
+
+    #[test]
+    fn id_is_stable_and_content_based() {
+        let a = sample_config();
+        let b = sample_config();
+        assert_eq!(a.id(), b.id());
+        let c = a.with(0, ParamValue::Int(129));
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn id_distinguishes_value_types() {
+        let a = Config::new(vec![ParamValue::Int(1)]);
+        let b = Config::new(vec![ParamValue::Cat(1)]);
+        let c = Config::new(vec![ParamValue::Bool(true)]);
+        assert_ne!(a.id(), b.id());
+        assert_ne!(b.id(), c.id());
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let a = sample_config();
+        let b = a.with(3, ParamValue::Bool(false));
+        assert!(a.get(3).as_bool());
+        assert!(!b.get(3).as_bool());
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let s = sample_config().to_string();
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        assert!(s.contains("128"));
+    }
+
+    #[test]
+    fn empty_config() {
+        let c = Config::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

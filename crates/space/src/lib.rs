@@ -1,0 +1,38 @@
+//! Configuration spaces for black-box system tuning.
+//!
+//! A [`ConfigSpace`] declares the tunable knobs of a system-under-test —
+//! integers (optionally log-scaled), floats, categoricals and booleans — and
+//! provides everything an optimizer needs to search over them:
+//!
+//! - uniform sampling ([`ConfigSpace::sample`]),
+//! - a numeric encoding for surrogate models ([`ConfigSpace::encode`],
+//!   [`ConfigSpace::encode_one_hot`]),
+//! - neighborhood moves for local search ([`ConfigSpace::neighbor`]),
+//! - validation ([`ConfigSpace::validate`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use tuna_space::{ConfigSpace, ParamValue};
+//! use tuna_stats::rng::Rng;
+//!
+//! let space = ConfigSpace::builder()
+//!     .int_log("shared_buffers_mb", 8, 16384)
+//!     .float("random_page_cost", 1.0, 8.0)
+//!     .categorical("wal_level", &["minimal", "replica", "logical"])
+//!     .boolean("enable_hashjoin")
+//!     .build();
+//!
+//! let mut rng = Rng::seed_from(1);
+//! let cfg = space.sample(&mut rng);
+//! assert!(space.validate(&cfg).is_ok());
+//! assert_eq!(space.encode(&cfg).len(), 4);
+//! ```
+
+pub mod config;
+pub mod param;
+pub mod space;
+
+pub use config::{Config, ConfigId};
+pub use param::{Domain, ParamSpec, ParamValue};
+pub use space::{ConfigSpace, ConfigSpaceBuilder, SpaceError};

@@ -1,0 +1,88 @@
+//! Property-based tests for configuration spaces.
+
+use proptest::prelude::*;
+use tuna_space::ConfigSpace;
+use tuna_stats::rng::Rng;
+
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    (
+        1i64..64,
+        1i64..1_000_000,
+        0.0f64..10.0,
+        1usize..6,
+        any::<bool>(),
+    )
+        .prop_map(|(int_hi, log_hi, float_lo, n_cat, with_bool)| {
+            let mut b = ConfigSpace::builder()
+                .int("i", 0, int_hi)
+                .int_log("il", 1, log_hi)
+                .float("f", float_lo, float_lo + 5.0);
+            let choices: Vec<String> = (0..n_cat).map(|i| format!("c{i}")).collect();
+            let refs: Vec<&str> = choices.iter().map(|s| s.as_str()).collect();
+            b = b.categorical("c", &refs);
+            if with_bool {
+                b = b.boolean("b");
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn sampled_configs_validate(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..16 {
+            let cfg = space.sample(&mut rng);
+            prop_assert!(space.validate(&cfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn encoding_is_unit_box(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..16 {
+            let cfg = space.sample(&mut rng);
+            for z in space.encode(&cfg) {
+                prop_assert!((0.0..=1.0).contains(&z));
+            }
+            for z in space.encode_one_hot(&cfg) {
+                prop_assert!((0.0..=1.0).contains(&z));
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_width_consistent(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = space.sample(&mut rng);
+        prop_assert_eq!(space.encode_one_hot(&cfg).len(), space.one_hot_width());
+    }
+
+    #[test]
+    fn neighbors_validate_and_differ_minimally(space in arb_space(), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = space.sample(&mut rng);
+        for _ in 0..16 {
+            let nb = space.neighbor(&cfg, &mut rng);
+            prop_assert!(space.validate(&nb).is_ok());
+            let diffs = cfg
+                .values()
+                .iter()
+                .zip(nb.values())
+                .filter(|(a, b)| a != b)
+                .count();
+            prop_assert!(diffs <= 1);
+        }
+    }
+
+    #[test]
+    fn config_id_equality_matches_value_equality(space in arb_space(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let c1 = space.sample(&mut Rng::seed_from(s1));
+        let c2 = space.sample(&mut Rng::seed_from(s2));
+        if c1 == c2 {
+            prop_assert_eq!(c1.id(), c2.id());
+        } else {
+            prop_assert_ne!(c1.id(), c2.id());
+        }
+    }
+}

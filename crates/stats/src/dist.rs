@@ -1,0 +1,484 @@
+//! Sampling distributions used throughout the simulator.
+//!
+//! All constructors validate their parameters and return
+//! `Result<Self, DistError>`; sampling itself is infallible.
+
+use crate::rng::Rng;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A scale-like parameter (std-dev, rate, ...) was non-positive or NaN.
+    InvalidScale(f64),
+    /// A shape-like parameter was out of its valid domain.
+    InvalidShape(f64),
+    /// A bound pair was inverted or not finite.
+    InvalidBounds(f64, f64),
+    /// A discrete domain was empty.
+    EmptyDomain,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidScale(s) => write!(f, "invalid scale parameter: {s}"),
+            DistError::InvalidShape(s) => write!(f, "invalid shape parameter: {s}"),
+            DistError::InvalidBounds(lo, hi) => write!(f, "invalid bounds: [{lo}, {hi}]"),
+            DistError::EmptyDomain => write!(f, "empty discrete domain"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A distribution over `f64` values that can be sampled with an [`Rng`].
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tuna_stats::dist::{Distribution, Uniform};
+    /// use tuna_stats::rng::Rng;
+    /// let u = Uniform::new(2.0, 3.0).unwrap();
+    /// let x = u.sample(&mut Rng::seed_from(0));
+    /// assert!((2.0..3.0).contains(&x));
+    /// ```
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(DistError::InvalidBounds(lo, hi));
+        }
+        Ok(Uniform { lo, hi })
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation (`std >= 0`; zero yields a point mass).
+    pub fn new(mean: f64, std: f64) -> Result<Self, DistError> {
+        if !std.is_finite() || std < 0.0 {
+            return Err(DistError::InvalidScale(std));
+        }
+        if !mean.is_finite() {
+            return Err(DistError::InvalidShape(mean));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.std * rng.next_gaussian()
+    }
+}
+
+/// Normal distribution truncated to `[lo, hi]`, sampled by rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal.
+    ///
+    /// Falls back to clamping when the acceptance region is far in the tail
+    /// (> 100 rejected draws), which keeps sampling O(1) in pathological
+    /// parameterizations.
+    pub fn new(mean: f64, std: f64, lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(DistError::InvalidBounds(lo, hi));
+        }
+        Ok(TruncatedNormal {
+            inner: Normal::new(mean, std)?,
+            lo,
+            hi,
+        })
+    }
+}
+
+impl Distribution for TruncatedNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        for _ in 0..100 {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log_mean: f64,
+    log_std: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the parameters of the underlying normal.
+    pub fn new(log_mean: f64, log_std: f64) -> Result<Self, DistError> {
+        if !log_std.is_finite() || log_std < 0.0 {
+            return Err(DistError::InvalidScale(log_std));
+        }
+        Ok(LogNormal { log_mean, log_std })
+    }
+
+    /// Creates a log-normal whose *linear-scale* mean is `mean` and whose
+    /// coefficient of variation is `cov`.
+    ///
+    /// This is the natural parameterization for multiplicative cloud noise:
+    /// a component with mean performance 1.0 and 5% CoV is
+    /// `LogNormal::from_mean_cov(1.0, 0.05)`.
+    pub fn from_mean_cov(mean: f64, cov: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(DistError::InvalidShape(mean));
+        }
+        if !cov.is_finite() || cov < 0.0 {
+            return Err(DistError::InvalidScale(cov));
+        }
+        let sigma2 = (1.0 + cov * cov).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.log_mean + self.log_std * rng.next_gaussian()).exp()
+    }
+}
+
+/// Bernoulli distribution returning 1.0 with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution; `p` must be in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, DistError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistError::InvalidShape(p));
+        }
+        Ok(Bernoulli { p })
+    }
+}
+
+impl Distribution for Bernoulli {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(self.p) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Exponential distribution with the given rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with `rate > 0`.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(DistError::InvalidScale(rate));
+        }
+        Ok(Exponential { rate })
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; `x_min > 0`, `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, DistError> {
+        if !x_min.is_finite() || x_min <= 0.0 {
+            return Err(DistError::InvalidScale(x_min));
+        }
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(DistError::InvalidShape(alpha));
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.x_min / (1.0 - rng.next_f64()).powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Used by the YCSB-C and Wikipedia workload models for key/page popularity.
+/// Sampling uses a precomputed cumulative table with binary search, which is
+/// exact and fast for the domain sizes we need (<= ~1e6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::EmptyDomain);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(DistError::InvalidShape(s));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+
+    /// Samples a rank in `1..=n` (most popular item is rank 1).
+    pub fn sample_rank(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// The domain size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Distribution for Zipf {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// A two-component Gaussian mixture, used to model bimodal burstable-VM
+/// performance (credits available vs. depleted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BimodalNormal {
+    hi: Normal,
+    lo: Normal,
+    p_hi: f64,
+}
+
+impl BimodalNormal {
+    /// Creates a mixture that samples from `hi` with probability `p_hi`,
+    /// otherwise from `lo`.
+    pub fn new(hi: Normal, lo: Normal, p_hi: f64) -> Result<Self, DistError> {
+        if !(0.0..=1.0).contains(&p_hi) {
+            return Err(DistError::InvalidShape(p_hi));
+        }
+        Ok(BimodalNormal { hi, lo, p_hi })
+    }
+}
+
+impl Distribution for BimodalNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(self.p_hi) {
+            self.hi.sample(rng)
+        } else {
+            self.lo.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{coefficient_of_variation, mean, std_dev};
+
+    fn rng() -> Rng {
+        Rng::seed_from(2024)
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(-1.0, 3.0).unwrap();
+        let xs = d.sample_n(&mut rng(), 50_000);
+        assert!(xs.iter().all(|&x| (-1.0..3.0).contains(&x)));
+        assert!((mean(&xs) - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn uniform_rejects_bad_bounds() {
+        assert!(Uniform::new(3.0, -1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let xs = d.sample_n(&mut rng(), 100_000);
+        assert!((mean(&xs) - 10.0).abs() < 0.05);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_rejects_negative_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let d = TruncatedNormal::new(0.0, 5.0, -1.0, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng(), 10_000);
+        assert!(xs.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn lognormal_mean_cov_parameterization() {
+        let d = LogNormal::from_mean_cov(1.0, 0.05).unwrap();
+        let xs = d.sample_n(&mut rng(), 200_000);
+        assert!((mean(&xs) - 1.0).abs() < 0.01, "mean {}", mean(&xs));
+        let cov = coefficient_of_variation(&xs);
+        assert!((cov - 0.05).abs() < 0.005, "cov {cov}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(2.0).unwrap();
+        let xs = d.sample_n(&mut rng(), 100_000);
+        assert!((mean(&xs) - 0.5).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pareto_minimum() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let xs = d.sample_n(&mut rng(), 10_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Mean of Pareto(alpha=3, xm=2) is alpha*xm/(alpha-1) = 3.
+        assert!((mean(&xs) - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let d = Bernoulli::new(0.3).unwrap();
+        let xs = d.sample_n(&mut rng(), 100_000);
+        assert!((mean(&xs) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipf_rank_one_most_popular() {
+        let z = Zipf::new(1000, 0.99).unwrap();
+        let mut r = rng();
+        let mut counts = vec![0usize; 1001];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[0] == 0);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(101), 0.0);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let hi = Normal::new(1.0, 0.02).unwrap();
+        let lo = Normal::new(0.4, 0.02).unwrap();
+        let d = BimodalNormal::new(hi, lo, 0.7).unwrap();
+        let xs = d.sample_n(&mut rng(), 20_000);
+        let hi_count = xs.iter().filter(|&&x| x > 0.7).count();
+        let ratio = hi_count as f64 / xs.len() as f64;
+        assert!((ratio - 0.7).abs() < 0.02, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Statistical foundation for the TUNA reproduction.
+//!
+//! This crate provides every statistical primitive the rest of the
+//! workspace builds on:
+//!
+//! - [`rng`]: a deterministic, fork-able pseudo-random number generator
+//!   (xoshiro256++ seeded via SplitMix64) so that every experiment in the
+//!   repository is reproducible bit-for-bit from a single `u64` seed.
+//! - [`dist`]: sampling distributions (normal, log-normal, Zipf, Pareto, ...)
+//!   used by the cloud simulator and the workload models.
+//! - [`online`]: Welford-style online accumulators for streaming mean /
+//!   variance and min/max tracking.
+//! - [`summary`]: batch statistics over slices — mean, variance, quantiles,
+//!   coefficient of variation and the paper's *relative range* heuristic.
+//! - [`bootstrap`]: percentile bootstrap confidence intervals.
+//! - [`hist`]: histograms and Gaussian kernel density estimates (used to
+//!   regenerate the Figure 8 density plot).
+//! - [`special`]: special functions (`erf`, normal CDF/PDF/quantile) needed
+//!   by the expected-improvement acquisition function.
+//! - [`scaler`]: per-column standardization for ML pipelines.
+//! - [`ar1`]: first-order autoregressive processes modelling temporally
+//!   correlated cloud interference ("noisy neighbors").
+//! - [`corr`]: Pearson / Spearman correlation.
+//!
+//! # Examples
+//!
+//! ```
+//! use tuna_stats::rng::Rng;
+//! use tuna_stats::dist::{Distribution, Normal};
+//! use tuna_stats::summary::relative_range;
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let noise = Normal::new(1.0, 0.05).unwrap();
+//! let samples: Vec<f64> = (0..100).map(|_| noise.sample(&mut rng)).collect();
+//! assert!(relative_range(&samples) < 0.8);
+//! ```
+
+pub mod ar1;
+pub mod bootstrap;
+pub mod corr;
+pub mod dist;
+pub mod hist;
+pub mod online;
+pub mod rng;
+pub mod scaler;
+pub mod special;
+pub mod summary;
+
+pub use dist::Distribution;
+pub use online::Welford;
+pub use rng::Rng;
+pub use summary::{coefficient_of_variation, mean, quantile, relative_range, std_dev};

@@ -1,0 +1,212 @@
+//! Online (streaming) statistics accumulators.
+//!
+//! The longitudinal-study driver processes millions of simulated samples;
+//! Welford's algorithm lets it track mean/variance/min/max in O(1) memory
+//! with good numerical behaviour.
+
+/// Welford online mean/variance accumulator with min/max tracking.
+///
+/// # Examples
+///
+/// ```
+/// use tuna_stats::online::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 3);
+/// assert!((w.mean() - 4.0).abs() < 1e-12);
+/// assert!((w.variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    ///
+    /// Uses the Chan et al. pairwise update, so merging partial accumulators
+    /// yields the same moments as a single sequential pass.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; `0.0` when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation; `0.0` when the mean is zero.
+    pub fn cov(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            (self.std_dev() / self.mean()).abs()
+        }
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Relative range `(max - min)/mean`; `0.0` when undefined.
+    pub fn relative_range(&self) -> f64 {
+        if self.count < 2 || self.mean() == 0.0 {
+            return 0.0;
+        }
+        ((self.max - self.min) / self.mean()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::summary;
+
+    #[test]
+    fn matches_batch_statistics() {
+        let mut rng = Rng::seed_from(77);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.next_f64() * 100.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - summary::mean(&xs)).abs() < 1e-9);
+        assert!((w.variance() - summary::variance(&xs)).abs() < 1e-6);
+        assert_eq!(w.min().unwrap(), summary::min(&xs).unwrap());
+        assert_eq!(w.max().unwrap(), summary::max(&xs).unwrap());
+        assert!((w.relative_range() - summary::relative_range(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut rng = Rng::seed_from(78);
+        let xs: Vec<f64> = (0..1_000).map(|_| rng.next_gaussian()).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..300] {
+            left.push(x);
+        }
+        for &x in &xs[300..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+        assert_eq!(w.cov(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-column standardization (z-scoring) for ML pipelines.
+//!
+//! Algorithm 1 of the paper composes `RandomForestRegressor ∘ Standardize`;
+//! [`StandardScaler`] is the `Standardize` half.
+
+/// Fitted per-column mean/std transformer.
+///
+/// Columns with zero variance are passed through centred but unscaled, so
+/// constant features do not produce NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits a scaler to a design matrix (rows = samples, columns =
+    /// features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent widths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler to zero rows");
+        let width = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == width),
+            "inconsistent row widths"
+        );
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; width];
+        for row in rows {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for row in rows {
+            for ((s, &m), &x) in stds.iter_mut().zip(&means).zip(row) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // Constant column: centre but do not scale.
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted width.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a transformed copy of `rows`.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut out = r.clone();
+                self.transform_row(&mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Number of fitted columns.
+    pub fn width(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Fitted column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column standard deviations (population, with zero-variance
+    /// columns replaced by 1.0).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_to_zero_mean_unit_std() {
+        let rows = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&rows);
+        for col in 0..2 {
+            let vals: Vec<f64> = t.iter().map(|r| r[col]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-12, "col {col} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "col {col} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_nan() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let t = scaler.transform(&rows);
+        assert!(t.iter().all(|r| r.iter().all(|x| x.is_finite())));
+        assert!(t.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let mut bad = vec![1.0];
+        scaler.transform_row(&mut bad);
+    }
+}

@@ -1,0 +1,264 @@
+//! Batch statistics over slices.
+//!
+//! These are the scalar summaries the paper's heuristics are built from,
+//! most importantly [`relative_range`] (§4.2) and
+//! [`coefficient_of_variation`] (§3).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (`n - 1` denominator); `0.0` when `n < 2`.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation: standard deviation normalized by the mean.
+///
+/// Returns `0.0` when the mean is zero or the slice has fewer than two
+/// elements. This is the dispersion measure used throughout the paper's
+/// measurement study (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use tuna_stats::summary::coefficient_of_variation;
+/// let cov = coefficient_of_variation(&[9.0, 10.0, 11.0]);
+/// assert!((cov - 0.1).abs() < 1e-12);
+/// ```
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    (std_dev(xs) / m).abs()
+}
+
+/// Relative range: `(max - min) / mean`.
+///
+/// The paper's unstable-configuration heuristic (§4.2): it is insensitive to
+/// the *frequency* of outliers (unlike CoV) and needs no per-system scale
+/// tuning (unlike the standard deviation). Returns `0.0` for slices with
+/// fewer than two elements or zero mean.
+///
+/// # Examples
+///
+/// ```
+/// use tuna_stats::summary::relative_range;
+/// // From the paper's Figure 10 walk-through: {500, 450, 530} -> ~16.2%.
+/// let rr = relative_range(&[500.0, 450.0, 530.0]);
+/// assert!((rr - 0.1622).abs() < 1e-3);
+/// ```
+pub fn relative_range(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    ((max - min) / m).abs()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`), matching numpy's default.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// 95th-percentile helper used by the latency-oriented workloads.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn p95(xs: &[f64]) -> f64 {
+    quantile(xs, 0.95)
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Interquartile range (Q3 - Q1).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn iqr(xs: &[f64]) -> f64 {
+    quantile(xs, 0.75) - quantile(xs, 0.25)
+}
+
+/// Five-number summary (min, Q1, median, Q3, max) — the boxplot statistics
+/// the paper's deployment figures report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the five-number summary of `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> Self {
+        FiveNumber {
+            min: min(xs).expect("non-empty"),
+            q1: quantile(xs, 0.25),
+            median: median(xs),
+            q3: quantile(xs, 0.75),
+            max: max(xs).expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(relative_range(&[]), 0.0);
+        assert_eq!(relative_range(&[5.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn relative_range_paper_example() {
+        // §5.2: samples 500, 450, 530 -> relative range 16.2% (stable).
+        let rr = relative_range(&[500.0, 450.0, 530.0]);
+        assert!((rr - 0.16216).abs() < 1e-4, "rr {rr}");
+        assert!(rr < 0.30);
+    }
+
+    #[test]
+    fn relative_range_detects_outlier_regardless_of_count() {
+        // One extreme outlier and two extreme outliers give the same
+        // relative range — the detector must not be biased by incidence.
+        let one = relative_range(&[100.0, 100.0, 100.0, 100.0, 30.0]);
+        let two = relative_range(&[100.0, 100.0, 100.0, 30.0, 30.0]);
+        assert!(one > 0.30 && two > 0.30);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&a, 0.3), quantile(&b, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let f = FiveNumber::of(&xs);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.max, 5.0);
+        assert!(f.q1 <= f.median && f.median <= f.q3);
+    }
+
+    #[test]
+    fn cov_scale_invariant() {
+        let xs = [9.0, 10.0, 11.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| x * 1000.0).collect();
+        assert!((coefficient_of_variation(&xs) - coefficient_of_variation(&scaled)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_of_uniform_grid() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((p95(&xs) - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iqr_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert!(iqr(&xs) > 0.0);
+    }
+}

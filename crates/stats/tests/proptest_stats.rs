@@ -1,0 +1,114 @@
+//! Property-based tests for the statistical core.
+
+use proptest::prelude::*;
+use tuna_stats::online::Welford;
+use tuna_stats::rng::Rng;
+use tuna_stats::summary::{
+    coefficient_of_variation, max, mean, median, min, quantile, relative_range, std_dev, variance,
+};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_min_max(xs in finite_vec(64)) {
+        let m = mean(&xs);
+        prop_assert!(m >= min(&xs).unwrap() - 1e-9);
+        prop_assert!(m <= max(&xs).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative(xs in finite_vec(64)) {
+        prop_assert!(variance(&xs) >= 0.0);
+        prop_assert!(std_dev(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn relative_range_nonnegative(xs in prop::collection::vec(1.0f64..1e6, 2..64)) {
+        prop_assert!(relative_range(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn relative_range_shift_decreases(xs in prop::collection::vec(1.0f64..100.0, 2..32)) {
+        // Adding a positive constant increases the mean but not the range,
+        // so relative range must not increase.
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1000.0).collect();
+        prop_assert!(relative_range(&shifted) <= relative_range(&xs) + 1e-12);
+    }
+
+    #[test]
+    fn relative_range_scale_invariant(xs in prop::collection::vec(1.0f64..100.0, 2..32), k in 0.5f64..10.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let a = relative_range(&xs);
+        let b = relative_range(&scaled);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn cov_scale_invariant(xs in prop::collection::vec(1.0f64..100.0, 2..32), k in 0.5f64..10.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let a = coefficient_of_variation(&xs);
+        let b = coefficient_of_variation(&scaled);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(xs in finite_vec(64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn median_between_extremes(xs in finite_vec(64)) {
+        let m = median(&xs);
+        prop_assert!(m >= min(&xs).unwrap() - 1e-9);
+        prop_assert!(m <= max(&xs).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_batch(xs in finite_vec(64)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert!((w.mean() - mean(&xs)).abs() < 1e-6_f64.max(mean(&xs).abs() * 1e-9));
+        prop_assert!((w.variance() - variance(&xs)).abs() < 1e-3_f64.max(variance(&xs).abs() * 1e-6));
+    }
+
+    #[test]
+    fn welford_merge_associative(a in finite_vec(32), b in finite_vec(32)) {
+        let mut w_all = Welford::new();
+        for &x in a.iter().chain(&b) {
+            w_all.push(x);
+        }
+        let mut wa = Welford::new();
+        for &x in &a {
+            wa.push(x);
+        }
+        let mut wb = Welford::new();
+        for &x in &b {
+            wb.push(x);
+        }
+        wa.merge(&wb);
+        prop_assert_eq!(wa.count(), w_all.count());
+        prop_assert!((wa.mean() - w_all.mean()).abs() < 1e-6_f64.max(w_all.mean().abs() * 1e-9));
+    }
+
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_fork_deterministic(seed in any::<u64>(), label in any::<u64>()) {
+        let root = Rng::seed_from(seed);
+        let mut a = root.fork(label);
+        let mut b = root.fork(label);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,49 @@
+//! NGINX / Wikipedia-Top500: tail-latency tuning for a web server.
+//!
+//! ```text
+//! cargo run --release --example nginx_wikipedia
+//! ```
+
+use tuna_core::experiment::{Experiment, Method};
+use tuna_sut::nginx::Nginx;
+
+fn main() {
+    let mut exp = Experiment::paper_default(tuna_workloads::wikipedia());
+    exp.rounds = 40;
+
+    println!("tuning NGINX serving the Wikipedia Top-500 pages (p95, ms)...");
+    let tuna = exp.run(Method::Tuna, 23);
+    let trad = exp.run(Method::Traditional, 23);
+    let default = exp.run(Method::DefaultConfig, 23);
+
+    for (name, run) in [("TUNA", &tuna), ("traditional", &trad), ("default", &default)] {
+        println!(
+            "  {name:<12} p95 {:>6.1} ms  std {:>5.2}  range [{:.1}, {:.1}]",
+            run.deployment.mean,
+            run.deployment.std,
+            run.deployment.five.min,
+            run.deployment.five.max
+        );
+    }
+
+    let ng = Nginx::new();
+    let knobs = ng.knobs(&tuna.best_config);
+    println!("TUNA's winning server block:");
+    println!("  worker_processes   {}", knobs.worker_processes);
+    println!("  worker_connections {}", knobs.worker_connections);
+    println!("  keepalive_timeout  {}", knobs.keepalive_timeout);
+    println!("  sendfile           {}", if knobs.sendfile { "on" } else { "off" });
+    println!("  tcp_nopush         {}", if knobs.tcp_nopush { "on" } else { "off" });
+    println!(
+        "  gzip               {} (level {})",
+        if knobs.gzip { "on" } else { "off" },
+        knobs.gzip_comp_level
+    );
+    println!("  open_file_cache    max={}", knobs.open_file_cache);
+    println!("  access_log         {}", if knobs.access_log { "on" } else { "off" });
+
+    println!(
+        "improvement over default: {:+.1}% p95",
+        (tuna.deployment.mean / default.deployment.mean - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: tune a simulated PostgreSQL for TPC-C with TUNA and deploy
+//! the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tuna_core::experiment::{Experiment, Method};
+use tuna_core::report::deploy_line;
+
+fn main() {
+    // An experiment bundles the workload, SKU, region and budgets. The
+    // quick demo uses a 25-round tuning run on a 10-worker cluster and
+    // deploys the winner on 5 fresh VMs.
+    let exp = Experiment::quick_demo();
+
+    println!("tuning PostgreSQL / TPC-C with TUNA (quick demo budgets)...");
+    let tuna = exp.run(Method::Tuna, 42);
+    let tuning = tuna.tuning.as_ref().expect("tuning ran");
+    println!(
+        "  evaluated {} configs with {} samples; {} flagged unstable",
+        tuning.n_configs, tuning.total_samples, tuning.n_unstable_configs
+    );
+    println!("  best config: {}", tuna.best_config);
+    println!("  {}", deploy_line("TUNA deployment", &tuna.deployment));
+
+    println!("reference points:");
+    let traditional = exp.run(Method::Traditional, 42);
+    println!(
+        "  {}",
+        deploy_line("traditional deployment", &traditional.deployment)
+    );
+    let default = exp.run(Method::DefaultConfig, 42);
+    println!(
+        "  {}",
+        deploy_line("default deployment", &default.deployment)
+    );
+
+    println!();
+    println!(
+        "TUNA vs default: {:+.1}% throughput; TUNA std vs traditional: {:.1}%",
+        (tuna.deployment.mean / default.deployment.mean - 1.0) * 100.0,
+        tuna.deployment.std / traditional.deployment.std.max(1e-9) * 100.0
+    );
+}

@@ -1,0 +1,154 @@
+//! Scaled-down statistical checks of the paper's major claims (C1-C5 of
+//! the artifact appendix).
+//!
+//! These run the real experiment machinery at reduced budgets, so they
+//! assert *direction and rough magnitude*, not exact numbers. The bench
+//! binaries (`fig02` ... `table1`) run the full-scale versions.
+
+use tuna_cloudsim::study::{run_study, Lifespan, StudyConfig};
+use tuna_core::experiment::{Experiment, Method};
+use tuna_core::report::summarize_method;
+use tuna_stats::summary;
+
+/// C2/C3 substrate: the cloud's component noise ordering (the study
+/// motivating §3.2).
+#[test]
+fn claim_component_noise_ordering() {
+    let report = run_study(&StudyConfig::quick());
+    let cov = |bench: &str| report.pooled_short_cov(bench, "Standard_D8s_v5").unwrap();
+    let cpu = cov("sysbench-cpu-prime");
+    let disk = cov("fio-randwrite-aio");
+    let mem = cov("mlc-maxbw-1to1");
+    let os = cov("osbench-create-threads");
+    let cache = cov("stress-ng-cache");
+    assert!(cpu < 0.01 && disk < 0.01, "CPU/disk too noisy: {cpu} {disk}");
+    assert!(mem > 0.02 && os > 0.05 && cache > 0.08);
+    assert!(cpu < disk && disk < mem && mem < os && os < cache);
+}
+
+/// C1 (scaled): added sampling noise slows convergence. We compare the
+/// oracle quality of the incumbent after a fixed number of iterations with
+/// and without 10% injected noise, pooled over seeds.
+#[test]
+fn claim_noise_slows_convergence() {
+    use tuna_cloudsim::{Cluster, Region, VmSku};
+    use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+    use tuna_optimizer::{Objective, Optimizer};
+    use tuna_stats::rng::Rng;
+    use tuna_sut::postgres::Postgres;
+    use tuna_sut::SystemUnderTest;
+
+    let pg = Postgres::new();
+    let workload = tuna_workloads::epinions();
+    let memory_mb = VmSku::c220g5().memory_gb * 1024.0;
+    let iters = 40;
+    // Area under the incumbent-quality curve: a noise-slowed tuner holds
+    // worse incumbents for longer even if it eventually catches up.
+    let mut clean_auc = Vec::new();
+    let mut noisy_auc = Vec::new();
+    for seed in 0..10u64 {
+        for &sigma in &[0.0, 0.30] {
+            let mut rng = Rng::seed_from(1000 + seed * 7 + (sigma * 100.0) as u64);
+            let mut cluster = Cluster::new(1, VmSku::c220g5(), Region::cloudlab(), seed);
+            let mut opt = SmacOptimizer::new(
+                pg.space().clone(),
+                Objective::Maximize,
+                SmacParams {
+                    n_init: 8,
+                    n_random_candidates: 30,
+                    ..SmacParams::default()
+                },
+            );
+            let mut auc = 0.0;
+            for _ in 0..iters {
+                let s = opt.ask(&mut rng);
+                let outcome = pg.run(&s.config, &workload, cluster.machine_mut(0), &mut rng);
+                let value = outcome.value * (1.0 + sigma * rng.next_gaussian()).max(0.05);
+                opt.tell(&s.config, value, s.budget);
+                if let Some((best_cfg, _)) = opt.best() {
+                    auc += pg.noiseless_rel(&best_cfg, &workload, memory_mb);
+                }
+            }
+            if sigma == 0.0 {
+                clean_auc.push(auc / iters as f64);
+            } else {
+                noisy_auc.push(auc / iters as f64);
+            }
+        }
+    }
+    let clean = summary::mean(&clean_auc);
+    let noisy = summary::mean(&noisy_auc);
+    assert!(
+        clean > noisy,
+        "noise should slow convergence: clean AUC {clean:.4} vs noisy {noisy:.4}"
+    );
+}
+
+/// C2 (scaled): on plan-sensitive TPC-C, TUNA's deployment variability is
+/// lower than traditional sampling's, pooled over several runs.
+#[test]
+fn claim_tuna_reduces_deployment_variance() {
+    let mut exp = Experiment::quick_demo();
+    exp.rounds = 45;
+    let n = 4;
+    let tuna = summarize_method(&exp.run_many(Method::Tuna, n, 9_001));
+    let trad = summarize_method(&exp.run_many(Method::Traditional, n, 9_001));
+    // Direction: TUNA should not be more volatile than traditional. Allow
+    // slack for the small scale.
+    assert!(
+        tuna.mean_std <= trad.mean_std * 1.35,
+        "TUNA std {:.1} vs traditional {:.1}",
+        tuna.mean_std,
+        trad.mean_std
+    );
+    // And it must comfortably beat the default.
+    let def = summarize_method(&exp.run_many(Method::DefaultConfig, n, 9_001));
+    assert!(tuna.mean_of_means > def.mean_of_means * 1.2);
+}
+
+/// C4 (scaled): on Redis, TUNA avoids the crashing configs.
+#[test]
+fn claim_tuna_avoids_redis_crashes() {
+    let mut exp = Experiment::quick_demo();
+    exp.workload = tuna_workloads::ycsb_c();
+    exp.rounds = 35;
+    let runs = exp.run_many(Method::Tuna, 3, 77);
+    let crashes: usize = runs.iter().map(|r| r.deployment.crashes).sum();
+    let total: usize = runs.len() * exp.deploy_vms * exp.deploy_repeats;
+    assert!(
+        (crashes as f64) < total as f64 * 0.1,
+        "TUNA deployments crash too often: {crashes}/{total}"
+    );
+}
+
+/// C5 substrate: burstable VMs are bimodal, non-burstable are not.
+#[test]
+fn claim_burstable_bimodality() {
+    let report = run_study(&StudyConfig::quick());
+    let low_mode = |sku: &str| {
+        let s = report
+            .series("pgbench-rw", "westus2", sku, Lifespan::Short)
+            .unwrap();
+        let rel = s.relative_samples();
+        rel.iter().filter(|&&x| x < 0.75).count() as f64 / rel.len() as f64
+    };
+    assert!(low_mode("Standard_B8ms") > 0.05);
+    assert!(low_mode("Standard_D8s_v5") < 0.01);
+}
+
+/// The outlier detector's effect (Figure 20, scaled): without it, the
+/// deployment std across runs should not shrink.
+#[test]
+fn claim_outlier_detector_contains_variance() {
+    let mut exp = Experiment::quick_demo();
+    exp.rounds = 45;
+    let n = 4;
+    let with = summarize_method(&exp.run_many(Method::Tuna, n, 31_337));
+    let without = summarize_method(&exp.run_many(Method::TunaNoOutlier, n, 31_337));
+    assert!(
+        without.mean_std >= with.mean_std * 0.6,
+        "detector made things worse: with {:.1} vs without {:.1}",
+        with.mean_std,
+        without.mean_std
+    );
+}

@@ -1,0 +1,97 @@
+//! System-level property tests spanning crates.
+
+use proptest::prelude::*;
+use tuna_cloudsim::{Cluster, Region, VmSku};
+use tuna_core::aggregate::AggregationPolicy;
+use tuna_core::outlier::OutlierDetector;
+use tuna_core::scheduler::TaskScheduler;
+use tuna_optimizer::Objective;
+use tuna_stats::rng::Rng;
+use tuna_sut::nginx::Nginx;
+use tuna_sut::postgres::Postgres;
+use tuna_sut::redis::Redis;
+use tuna_sut::SystemUnderTest;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sampled config on any SuT produces a finite, positive metric.
+    #[test]
+    fn any_config_any_sut_runs(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let mut cluster = Cluster::new(3, VmSku::d8s_v5(), Region::westus2(), seed);
+        let suts: Vec<(Box<dyn SystemUnderTest>, tuna_workloads::Workload)> = vec![
+            (Box::new(Postgres::new()), tuna_workloads::tpcc()),
+            (Box::new(Redis::new()), tuna_workloads::ycsb_c()),
+            (Box::new(Nginx::new()), tuna_workloads::wikipedia()),
+        ];
+        for (sut, workload) in &suts {
+            let cfg = sut.space().sample(&mut rng);
+            let out = sut.run(&cfg, workload, cluster.machine_mut(0), &mut rng);
+            prop_assert!(out.value.is_finite() && out.value > 0.0);
+            prop_assert_eq!(out.metrics.values().len(), tuna_metrics::SCHEMA.len());
+        }
+    }
+
+    /// The scheduler never assigns a config to the same node twice, for
+    /// any interleaving of budget requests.
+    #[test]
+    fn scheduler_distinct_node_guarantee(
+        seed in any::<u64>(),
+        budgets in prop::collection::vec(1usize..=10, 1..12)
+    ) {
+        let mut sched = TaskScheduler::new(10);
+        let mut rng = Rng::seed_from(seed);
+        let space = tuna_space::ConfigSpace::builder().int("x", 0, 1_000_000).build();
+        let ids: Vec<tuna_space::ConfigId> =
+            (0..3).map(|_| space.sample(&mut rng).id()).collect();
+        for (i, &b) in budgets.iter().enumerate() {
+            let id = ids[i % ids.len()];
+            sched.assign(id, b);
+            let mut visited = sched.visited(id).to_vec();
+            let before = visited.len();
+            visited.sort_unstable();
+            visited.dedup();
+            prop_assert_eq!(before, visited.len(), "duplicate node assignment");
+        }
+    }
+
+    /// Worst-case aggregation is always at least as pessimistic as the
+    /// mean, in the correct orientation.
+    #[test]
+    fn worst_case_dominates_mean(values in prop::collection::vec(0.1f64..1e6, 1..20)) {
+        let min_agg = AggregationPolicy::WorstCase.aggregate(&values, Objective::Maximize);
+        let max_agg = AggregationPolicy::WorstCase.aggregate(&values, Objective::Minimize);
+        let mean = AggregationPolicy::Mean.aggregate(&values, Objective::Maximize);
+        prop_assert!(min_agg <= mean + 1e-9);
+        prop_assert!(max_agg >= mean - 1e-9);
+    }
+
+    /// The outlier penalty always makes the reported value strictly worse
+    /// for non-degenerate inputs.
+    #[test]
+    fn penalty_worsens_reported_value(value in 0.1f64..1e6) {
+        let d = OutlierDetector::default();
+        prop_assert!(d.penalize(value, Objective::Maximize) < value);
+        prop_assert!(d.penalize(value, Objective::Minimize) > value);
+    }
+
+    /// Machine observation is always positive and bounded for arbitrary
+    /// demand profiles.
+    #[test]
+    fn machine_speeds_positive(
+        seed in any::<u64>(),
+        cpu in 0.0f64..1.0, disk in 0.0f64..1.0, mem in 0.0f64..1.0,
+        cache in 0.0f64..1.0, os in 0.0f64..1.0
+    ) {
+        use tuna_cloudsim::components::ComponentVec;
+        let mut cluster = Cluster::new(1, VmSku::b8ms(), Region::centralus(), seed);
+        let demand = ComponentVec::new(cpu, disk, mem, cache, os);
+        for _ in 0..5 {
+            let snap = cluster.machine_mut(0).observe(&demand);
+            for (_, v) in snap.speeds.iter() {
+                prop_assert!(v > 0.0 && v < 10.0);
+            }
+        }
+    }
+}

@@ -56,7 +56,8 @@ fn bench_gp(c: &mut Criterion) {
                     1e-3,
                 )
                 .unwrap();
-                gp.fit_with_hyperopt(black_box(&xs), black_box(&ys)).unwrap();
+                gp.fit_with_hyperopt(black_box(&xs), black_box(&ys))
+                    .unwrap();
                 gp
             })
         });

@@ -21,7 +21,12 @@ fn bench_sut_run(c: &mut Criterion) {
         let mut cluster = Cluster::new(1, VmSku::d8s_v5(), Region::westus2(), 1);
         let cfg = pg.default_config();
         let mut rng = Rng::seed_from(2);
-        b.iter(|| black_box(pg.run(&cfg, &workload, cluster.machine_mut(0), &mut rng).value))
+        b.iter(|| {
+            black_box(
+                pg.run(&cfg, &workload, cluster.machine_mut(0), &mut rng)
+                    .value,
+            )
+        })
     });
 }
 
@@ -39,7 +44,12 @@ fn bench_adjuster(c: &mut Criterion) {
     let mut rng = Rng::seed_from(3);
     let mk_sample = |machine: usize, rng: &mut Rng| {
         let metrics: Vec<f64> = (0..SCHEMA.len()).map(|_| rng.next_f64()).collect();
-        Sample::new(machine, 500.0 + 20.0 * rng.next_gaussian(), MetricVector::new(metrics), false)
+        Sample::new(
+            machine,
+            500.0 + 20.0 * rng.next_gaussian(),
+            MetricVector::new(metrics),
+            false,
+        )
     };
     group.bench_function("train_on_config", |b| {
         b.iter(|| {

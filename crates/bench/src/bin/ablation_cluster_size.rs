@@ -64,8 +64,13 @@ fn main() {
                 exp.smac.clone(),
                 ladder.clone(),
             );
-            let mut pipeline =
-                TunaPipeline::new(cfg, sut.as_ref(), &workload, Box::new(optimizer), base.clone());
+            let mut pipeline = TunaPipeline::new(
+                cfg,
+                sut.as_ref(),
+                &workload,
+                Box::new(optimizer),
+                base.clone(),
+            );
             pipeline.run_until_samples(sample_budget, &mut rng);
             let result = pipeline.finish();
             let deployment = evaluate_deployment(

@@ -55,8 +55,13 @@ fn main() {
                 exp.smac.clone(),
                 LadderParams::paper_default(),
             );
-            let mut pipeline =
-                TunaPipeline::new(cfg, sut.as_ref(), &workload, Box::new(optimizer), base.clone());
+            let mut pipeline = TunaPipeline::new(
+                cfg,
+                sut.as_ref(),
+                &workload,
+                Box::new(optimizer),
+                base.clone(),
+            );
             pipeline.run_until_samples(rounds * exp.cluster_size, &mut rng);
             let result = pipeline.finish();
             let deployment = evaluate_deployment(

@@ -99,12 +99,17 @@ fn main() {
     let final0 = mean_at(0, iters - 1);
     let target = 1.0 + 0.7 * (final0 - 1.0);
     let reach = |li: usize| -> Option<usize> {
-        (0..iters).find(|&it| mean_at(li, it) >= target).map(|i| i + 1)
+        (0..iters)
+            .find(|&it| mean_at(li, it) >= target)
+            .map(|i| i + 1)
     };
     let t0 = reach(0);
     let t5 = reach(1);
     let t10 = reach(2);
-    println!("time-to-reach 70% of the noise-free final improvement (oracle rel {:.3}):", target);
+    println!(
+        "time-to-reach 70% of the noise-free final improvement (oracle rel {:.3}):",
+        target
+    );
     println!(
         "  0%: {:?}  5%: {:?}  10%: {:?} iterations (None = not reached in {iters})",
         t0, t5, t10
@@ -119,7 +124,10 @@ fn main() {
         paper_vs(
             "slowdown at 5% noise",
             "2.50x",
-            &format!(">{:.2}x (not reached in {iters} iters)", iters as f64 / a as f64),
+            &format!(
+                ">{:.2}x (not reached in {iters} iters)",
+                iters as f64 / a as f64
+            ),
         );
     }
     if let (Some(a), Some(b)) = (t0, t10) {
@@ -132,7 +140,10 @@ fn main() {
         paper_vs(
             "slowdown at 10% noise",
             "4.35x",
-            &format!(">{:.2}x (not reached in {iters} iters)", iters as f64 / a as f64),
+            &format!(
+                ">{:.2}x (not reached in {iters} iters)",
+                iters as f64 / a as f64
+            ),
         );
     }
 }

@@ -49,8 +49,7 @@ fn main() {
                     .expect("series present");
                 let rel = series.relative_samples();
                 let five = FiveNumber::of(&rel);
-                let low_mode =
-                    rel.iter().filter(|&&x| x < 0.75).count() as f64 / rel.len() as f64;
+                let low_mode = rel.iter().filter(|&&x| x < 0.75).count() as f64 / rel.len() as f64;
                 rows.push(vec![
                     bench.to_string(),
                     sku.to_string(),

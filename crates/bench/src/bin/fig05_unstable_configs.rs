@@ -51,7 +51,10 @@ fn main() {
             pg.space().sample(&mut init_rng)
         };
         let vals: Vec<f64> = (0..30)
-            .map(|i| pg.run(&config, &workload, cluster.machine_mut(i), &mut rng).value)
+            .map(|i| {
+                pg.run(&config, &workload, cluster.machine_mut(i), &mut rng)
+                    .value
+            })
             .collect();
         let rr = summary::relative_range(&vals);
         let unstable = rr > 0.30;
@@ -99,7 +102,10 @@ fn main() {
         "verdict".to_string(),
     ]];
     for run in 0..n_runs {
-        let summary_run = exp.run(Method::Traditional, hash_combine(args.seed, 100 + run as u64));
+        let summary_run = exp.run(
+            Method::Traditional,
+            hash_combine(args.seed, 100 + run as u64),
+        );
         let tuning_best = summary_run
             .tuning
             .as_ref()
@@ -138,7 +144,11 @@ fn main() {
         "up to 76.1%",
         &format!("{:.1}%", worst_degradation * 100.0),
     );
-    paper_vs("max deployment CoV", "36.3%", &format!("{:.1}%", max_cov * 100.0));
+    paper_vs(
+        "max deployment CoV",
+        "36.3%",
+        &format!("{:.1}%", max_cov * 100.0),
+    );
 
     // Bonus: a stable deployment must exist too (the paper's 'stable'
     // panel of Figure 5b) — deploy the default config.

@@ -27,10 +27,20 @@ fn main() {
     let report = run_study(&cfg);
 
     let long = report
-        .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+        .series(
+            "mlc-maxbw-1to1",
+            "westus2",
+            "Standard_D8s_v5",
+            Lifespan::Long,
+        )
         .expect("long series");
     let short = report
-        .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Short)
+        .series(
+            "mlc-maxbw-1to1",
+            "westus2",
+            "Standard_D8s_v5",
+            Lifespan::Short,
+        )
         .expect("short series");
 
     let mut rows = vec![vec![

@@ -32,7 +32,10 @@ fn main() {
     for _ in 0..n_configs {
         let config = pg.space().sample(&mut rng);
         let vals: Vec<f64> = (0..10)
-            .map(|i| pg.run(&config, &workload, cluster.machine_mut(i), &mut rng).value)
+            .map(|i| {
+                pg.run(&config, &workload, cluster.machine_mut(i), &mut rng)
+                    .value
+            })
             .collect();
         let rr = summary::relative_range(&vals);
         if rr > 0.30 {

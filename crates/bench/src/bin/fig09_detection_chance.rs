@@ -67,7 +67,10 @@ fn main() {
     let mut unstable_profiles: Vec<Vec<f64>> = Vec::new();
     for config in &seen_configs {
         let vals: Vec<f64> = (0..pool_nodes)
-            .map(|i| pg.run(config, &workload, pool.machine_mut(i), &mut rng).value)
+            .map(|i| {
+                pg.run(config, &workload, pool.machine_mut(i), &mut rng)
+                    .value
+            })
             .collect();
         if summary::relative_range(&vals) > 0.30 {
             unstable_profiles.push(vals);
@@ -89,8 +92,9 @@ fn main() {
     let trials = 300;
     // Unstable configs that reach multi-node budgets per tuning run ==
     // the unstable share of each run's promoted stream.
-    let per_run_unstable =
-        (unstable_profiles.len() as f64 / tuning_runs as f64).max(1.0).round();
+    let per_run_unstable = (unstable_profiles.len() as f64 / tuning_runs as f64)
+        .max(1.0)
+        .round();
     let mut rows = vec![vec![
         "nodes".to_string(),
         "per-config detection".to_string(),

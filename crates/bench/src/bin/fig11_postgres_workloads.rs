@@ -26,19 +26,35 @@ fn main() {
     let paper: &[(&str, [(&str, f64, f64); 3])] = &[
         (
             "tpcc",
-            [("TUNA", 1925.0, 69.0), ("Traditional", 1989.0, 205.7), ("Default", 848.0, f64::NAN)],
+            [
+                ("TUNA", 1925.0, 69.0),
+                ("Traditional", 1989.0, 205.7),
+                ("Default", 848.0, f64::NAN),
+            ],
         ),
         (
             "epinions",
-            [("TUNA", 34957.0, f64::NAN), ("Traditional", 32189.0, f64::NAN), ("Default", 30855.0, f64::NAN)],
+            [
+                ("TUNA", 34957.0, f64::NAN),
+                ("Traditional", 32189.0, f64::NAN),
+                ("Default", 30855.0, f64::NAN),
+            ],
         ),
         (
             "tpch",
-            [("TUNA", 70.3, 1.3), ("Traditional", 94.5, 1.2), ("Default", 114.5, f64::NAN)],
+            [
+                ("TUNA", 70.3, 1.3),
+                ("Traditional", 94.5, 1.2),
+                ("Default", 114.5, f64::NAN),
+            ],
         ),
         (
             "mssales",
-            [("TUNA", 33.2, 0.49), ("Traditional", 62.5, 1.26), ("Default", 79.4, f64::NAN)],
+            [
+                ("TUNA", 33.2, 0.49),
+                ("Traditional", 62.5, 1.26),
+                ("Default", 79.4, f64::NAN),
+            ],
         ),
     ];
 
@@ -50,10 +66,21 @@ fn main() {
             _ => tuna_workloads::mssales(),
         };
         println!();
-        println!("--- Figure 11{}: {} ({}) ---",
-            match *workload { "tpcc" => 'a', "epinions" => 'b', "tpch" => 'c', _ => 'd' },
+        println!(
+            "--- Figure 11{}: {} ({}) ---",
+            match *workload {
+                "tpcc" => 'a',
+                "epinions" => 'b',
+                "tpch" => 'c',
+                _ => 'd',
+            },
             workload,
-            if w.metric.higher_is_better() { "higher is better" } else { "lower is better" });
+            if w.metric.higher_is_better() {
+                "higher is better"
+            } else {
+                "lower is better"
+            }
+        );
         let mut exp = Experiment::paper_default(w);
         exp.rounds = rounds;
         let results = compare_methods(&exp, &methods, runs, args.seed);
@@ -70,12 +97,22 @@ fn main() {
             );
         }
         // Who-wins shape checks.
-        let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+        let get = |n: &str| {
+            results
+                .iter()
+                .find(|(m, _)| *m == n)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
         let tuna = get("TUNA");
         let trad = get("Traditional");
         let def = get("Default");
         let better = |a: f64, b: f64| {
-            if exp.workload.metric.higher_is_better() { a > b } else { a < b }
+            if exp.workload.metric.higher_is_better() {
+                a > b
+            } else {
+                a < b
+            }
         };
         println!(
             "  shape: TUNA beats default: {}   TUNA std <= traditional std: {}   traditional beats default: {}",

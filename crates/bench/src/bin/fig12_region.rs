@@ -28,7 +28,13 @@ fn main() {
         args.seed,
     );
 
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     let tuna = get("TUNA");
     let trad = get("Traditional");
     paper_vs(
@@ -48,7 +54,10 @@ fn main() {
     let west_default = west.run_many(Method::DefaultConfig, runs, args.seed);
     let central_default = exp.run_many(Method::DefaultConfig, runs, args.seed);
     let spread = |rs: &[tuna_core::experiment::RunSummary]| {
-        let all: Vec<f64> = rs.iter().flat_map(|r| r.deployment.values.clone()).collect();
+        let all: Vec<f64> = rs
+            .iter()
+            .flat_map(|r| r.deployment.values.clone())
+            .collect();
         tuna_stats::summary::coefficient_of_variation(&all)
     };
     println!(

@@ -30,7 +30,13 @@ fn main() {
         args.seed,
     );
 
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     let tuna = get("TUNA");
     let trad = get("Traditional");
     let def = get("Default");

@@ -28,15 +28,17 @@ fn main() {
         args.seed,
     );
 
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     let tuna = get("TUNA");
     let trad = get("Traditional");
     let def = get("Default");
-    paper_vs(
-        "TUNA deployment crashes",
-        "0",
-        &format!("{}", tuna.crashes),
-    );
+    paper_vs("TUNA deployment crashes", "0", &format!("{}", tuna.crashes));
     paper_vs(
         "traditional deployment crashes",
         "3 configs crash ~30% of runs",
@@ -58,6 +60,9 @@ fn main() {
     paper_vs(
         "TUNA mean vs default mean",
         "+1.7%",
-        &format!("{:+.1}%", (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+        &format!(
+            "{:+.1}%",
+            (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0
+        ),
     );
 }

@@ -25,19 +25,31 @@ fn main() {
         args.seed,
     );
 
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     let tuna = get("TUNA");
     let trad = get("Traditional");
     let def = get("Default");
     paper_vs(
         "TUNA improvement over default",
         "-38.9%",
-        &format!("{:+.1}%", (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+        &format!(
+            "{:+.1}%",
+            (tuna.mean_of_means / def.mean_of_means - 1.0) * 100.0
+        ),
     );
     paper_vs(
         "traditional improvement over default",
         "-32.7%",
-        &format!("{:+.1}%", (trad.mean_of_means / def.mean_of_means - 1.0) * 100.0),
+        &format!(
+            "{:+.1}%",
+            (trad.mean_of_means / def.mean_of_means - 1.0) * 100.0
+        ),
     );
     paper_vs(
         "TUNA std / traditional std",

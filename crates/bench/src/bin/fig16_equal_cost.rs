@@ -34,8 +34,7 @@ fn main() {
     for run in 0..runs {
         let seed = hash_combine(args.seed, 900 + run as u64);
         let sut = exp.make_sut();
-        let base =
-            Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
+        let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
         let mut rng = Rng::seed_from(hash_combine(seed, 2));
         let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
         let optimizer = SmacOptimizer::multi_fidelity(

@@ -19,7 +19,11 @@ use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary;
 
 /// Best-so-far (oriented) value after each sample count, step `step`.
-fn curve_at(trace: &[tuna_core::pipeline::IterationRecord], budget: usize, step: usize) -> Vec<f64> {
+fn curve_at(
+    trace: &[tuna_core::pipeline::IterationRecord],
+    budget: usize,
+    step: usize,
+) -> Vec<f64> {
     let mut out = Vec::new();
     let mut best = f64::NEG_INFINITY;
     let mut idx = 0;
@@ -108,8 +112,16 @@ fn main() {
         "naive best-so-far (tx/s)".to_string(),
     ]];
     for i in (0..points).step_by((points / 12).max(1)) {
-        let t: Vec<f64> = tuna_curves.iter().map(|c| c[i]).filter(|v| v.is_finite()).collect();
-        let n: Vec<f64> = naive_curves.iter().map(|c| c[i]).filter(|v| v.is_finite()).collect();
+        let t: Vec<f64> = tuna_curves
+            .iter()
+            .map(|c| c[i])
+            .filter(|v| v.is_finite())
+            .collect();
+        let n: Vec<f64> = naive_curves
+            .iter()
+            .map(|c| c[i])
+            .filter(|v| v.is_finite())
+            .collect();
         rows.push(vec![
             format!("{}", (i + 1) * step),
             format!("{:.0}", summary::mean(&t)),

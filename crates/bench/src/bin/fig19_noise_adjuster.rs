@@ -39,7 +39,8 @@ fn run_variant(
         exp.smac.clone(),
         LadderParams::paper_default(),
     );
-    let mut pipeline = TunaPipeline::new(cfg, sut.as_ref(), &exp.workload, Box::new(optimizer), base);
+    let mut pipeline =
+        TunaPipeline::new(cfg, sut.as_ref(), &exp.workload, Box::new(optimizer), base);
     pipeline.run_until_samples(sample_budget, &mut rng);
     let result = pipeline.finish();
     // Best-so-far per 10-sample step.
@@ -102,8 +103,16 @@ fn main() {
         "TUNA w/o model".to_string(),
     ]];
     for i in (0..points).step_by((points / 10).max(1)) {
-        let w: Vec<f64> = with_curves.iter().map(|c| c[i]).filter(|v| v.is_finite()).collect();
-        let o: Vec<f64> = without_curves.iter().map(|c| c[i]).filter(|v| v.is_finite()).collect();
+        let w: Vec<f64> = with_curves
+            .iter()
+            .map(|c| c[i])
+            .filter(|v| v.is_finite())
+            .collect();
+        let o: Vec<f64> = without_curves
+            .iter()
+            .map(|c| c[i])
+            .filter(|v| v.is_finite())
+            .collect();
         rows.push(vec![
             format!("{}", (i + 1) * 10),
             format!("{:.0}", summary::mean(&w)),
@@ -165,8 +174,7 @@ fn main() {
 
     // Past-midpoint reduction, as the paper reports.
     let mid = max_gen / 2;
-    let late: Vec<&ModelErrorRecord> =
-        with_errors.iter().filter(|e| e.generation >= mid).collect();
+    let late: Vec<&ModelErrorRecord> = with_errors.iter().filter(|e| e.generation >= mid).collect();
     if !late.is_empty() {
         let raw = summary::mean(&late.iter().map(|e| e.raw_rel_err).collect::<Vec<_>>());
         let adj = summary::mean(&late.iter().map(|e| e.adjusted_rel_err).collect::<Vec<_>>());
@@ -186,7 +194,12 @@ fn main() {
             &format!("{:.1}%", (1.0 - adj / raw.max(1e-12)) * 100.0),
         );
     }
-    let all_raw = summary::mean(&with_errors.iter().map(|e| e.raw_rel_err).collect::<Vec<_>>());
+    let all_raw = summary::mean(
+        &with_errors
+            .iter()
+            .map(|e| e.raw_rel_err)
+            .collect::<Vec<_>>(),
+    );
     let all_adj = summary::mean(
         &with_errors
             .iter()

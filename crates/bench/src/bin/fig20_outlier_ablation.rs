@@ -26,7 +26,13 @@ fn main() {
         args.seed,
     );
 
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, s)| *s).unwrap();
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
     let tuna = get("TUNA");
     let ablated = get("TUNA w/o outlier detector");
     paper_vs(

@@ -27,23 +27,153 @@ fn main() {
     cfg.seed = args.seed;
     let report = run_study(&cfg);
 
-    let mut rows: Vec<Vec<String>> = vec![
-        ["paper", "year", "duration", "samples", "instances", "platform", "disk", "memory", "cpu", "network", "os"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
-    ];
+    let mut rows: Vec<Vec<String>> = vec![[
+        "paper",
+        "year",
+        "duration",
+        "samples",
+        "instances",
+        "platform",
+        "disk",
+        "memory",
+        "cpu",
+        "network",
+        "os",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()];
     let prior = [
-        ("Schad et al.", "2010", "4 weeks", "6 k", "4", "AWS", "y", "y", "y", "y", "n"),
-        ("Iosup et al.", "2011", "52 weeks", "250 k", "n/a", "AWS,GCP", "n", "n", "y", "n", "n"),
-        ("Farley et al.", "2012", "2 weeks", "59 k", "40", "AWS", "y", "y", "y", "y", "n"),
-        ("Leitner and Cito", "2016", "4 weeks", "54 k", "82", "multi", "n", "y", "y", "n", "n"),
-        ("Maricq et al.", "2018", "46 weeks", "900 k", "835", "CloudLab", "y", "y", "n", "y", "n"),
-        ("Figiela et al.", "2018", "22 weeks", "730 k", "13723", "multi", "n", "n", "y", "n", "n"),
-        ("Scheuner and Leitner", "2018", "4 weeks", "63 k", "244", "AWS", "y", "y", "y", "y", "n"),
-        ("Uta et al.", "2020", "3 weeks", "1000 k", "1", "multi", "n", "n", "n", "y", "n"),
-        ("De Sensi et al.", "2022", "n/a", "516 k", "2", "multi", "n", "n", "n", "y", "y"),
-        ("TUNA (paper)", "2024", "68 weeks", "7037 k", "43641", "Azure", "y", "y", "y", "n", "y"),
+        (
+            "Schad et al.",
+            "2010",
+            "4 weeks",
+            "6 k",
+            "4",
+            "AWS",
+            "y",
+            "y",
+            "y",
+            "y",
+            "n",
+        ),
+        (
+            "Iosup et al.",
+            "2011",
+            "52 weeks",
+            "250 k",
+            "n/a",
+            "AWS,GCP",
+            "n",
+            "n",
+            "y",
+            "n",
+            "n",
+        ),
+        (
+            "Farley et al.",
+            "2012",
+            "2 weeks",
+            "59 k",
+            "40",
+            "AWS",
+            "y",
+            "y",
+            "y",
+            "y",
+            "n",
+        ),
+        (
+            "Leitner and Cito",
+            "2016",
+            "4 weeks",
+            "54 k",
+            "82",
+            "multi",
+            "n",
+            "y",
+            "y",
+            "n",
+            "n",
+        ),
+        (
+            "Maricq et al.",
+            "2018",
+            "46 weeks",
+            "900 k",
+            "835",
+            "CloudLab",
+            "y",
+            "y",
+            "n",
+            "y",
+            "n",
+        ),
+        (
+            "Figiela et al.",
+            "2018",
+            "22 weeks",
+            "730 k",
+            "13723",
+            "multi",
+            "n",
+            "n",
+            "y",
+            "n",
+            "n",
+        ),
+        (
+            "Scheuner and Leitner",
+            "2018",
+            "4 weeks",
+            "63 k",
+            "244",
+            "AWS",
+            "y",
+            "y",
+            "y",
+            "y",
+            "n",
+        ),
+        (
+            "Uta et al.",
+            "2020",
+            "3 weeks",
+            "1000 k",
+            "1",
+            "multi",
+            "n",
+            "n",
+            "n",
+            "y",
+            "n",
+        ),
+        (
+            "De Sensi et al.",
+            "2022",
+            "n/a",
+            "516 k",
+            "2",
+            "multi",
+            "n",
+            "n",
+            "n",
+            "y",
+            "y",
+        ),
+        (
+            "TUNA (paper)",
+            "2024",
+            "68 weeks",
+            "7037 k",
+            "43641",
+            "Azure",
+            "y",
+            "y",
+            "y",
+            "n",
+            "y",
+        ),
     ];
     for row in prior {
         rows.push(vec![
@@ -75,7 +205,11 @@ fn main() {
     ]);
     println!("{}", render_table(&rows));
 
-    paper_vs("study duration", "68 weeks", &format!("{} weeks", report.weeks));
+    paper_vs(
+        "study duration",
+        "68 weeks",
+        &format!("{} weeks", report.weeks),
+    );
     paper_vs(
         "total samples",
         "7037 k",

@@ -90,7 +90,8 @@ impl HarnessArgs {
 
     /// Rounds per run with figure-specific defaults.
     pub fn rounds_or(&self, quick: usize, default: usize, full: usize) -> usize {
-        self.rounds.unwrap_or_else(|| self.pick(quick, default, full))
+        self.rounds
+            .unwrap_or_else(|| self.pick(quick, default, full))
     }
 }
 

@@ -77,8 +77,8 @@ impl CreditState {
     /// Returns `true` if the VM was depleted (throttled) at any tick.
     pub fn run_epoch(&mut self, utilization: f64, burn_noise: f64) -> bool {
         let util = utilization.clamp(0.0, 1.0);
-        let excess = (util - self.spec.baseline_util).max(0.0)
-            / (1.0 - self.spec.baseline_util).max(1e-9);
+        let excess =
+            (util - self.spec.baseline_util).max(0.0) / (1.0 - self.spec.baseline_util).max(1e-9);
         let burn = self.spec.burn_per_tick * excess * burn_noise.max(0.0);
         let mut depleted = false;
         for _ in 0..self.spec.ticks_per_epoch {

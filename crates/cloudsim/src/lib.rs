@@ -50,3 +50,51 @@ pub use components::{Component, ComponentVec};
 pub use machine::{Machine, MachineId, Snapshot};
 pub use region::Region;
 pub use sku::VmSku;
+
+#[cfg(test)]
+mod smoke {
+    use crate::credits::CreditState;
+    use crate::{Cluster, ComponentVec, Region, VmSku};
+
+    #[test]
+    fn d8s_v5_credit_accounting() {
+        // The paper's main worker SKU has no credit bank; the burstable
+        // B8ms does, and its balance stays within [0, capacity] while
+        // burning above baseline and accruing when idle.
+        assert!(!VmSku::d8s_v5().is_burstable());
+        let b8ms = VmSku::b8ms();
+        assert!(b8ms.is_burstable());
+
+        let spec = b8ms.burstable.unwrap();
+        let mut credits = CreditState::new(spec);
+        let full = credits.balance();
+        assert!((full - spec.capacity).abs() < 1e-12);
+
+        credits.run_epoch(1.0, 1.0);
+        assert!(
+            credits.balance() < full,
+            "sustained burst must burn credits"
+        );
+        assert!(credits.balance() >= 0.0);
+
+        for _ in 0..10_000 {
+            credits.idle_epoch();
+        }
+        assert!(
+            credits.balance() <= spec.capacity,
+            "idling must never overfill the bank"
+        );
+    }
+
+    #[test]
+    fn cluster_observation_within_physical_bounds() {
+        let mut cluster = Cluster::new(4, VmSku::d8s_v5(), Region::westus2(), 7);
+        let demand = ComponentVec::uniform(0.5);
+        for node in 0..4 {
+            let snap = cluster.machine_mut(node).observe(&demand);
+            for (_, speed) in snap.speeds.iter() {
+                assert!(speed > 0.0 && speed < 10.0, "speed {speed} out of range");
+            }
+        }
+    }
+}

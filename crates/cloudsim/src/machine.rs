@@ -84,12 +84,7 @@ impl Machine {
         }
     }
 
-    fn draw_placement(
-        sku: &VmSku,
-        region: &Region,
-        crowded: bool,
-        rng: &mut Rng,
-    ) -> ComponentVec {
+    fn draw_placement(sku: &VmSku, region: &Region, crowded: bool, rng: &mut Rng) -> ComponentVec {
         let mut placement = ComponentVec::ones();
         for c in Component::ALL {
             let cov = sku.placement_cov.get(c) * region.placement_scale;
@@ -206,8 +201,7 @@ impl Machine {
         for c in Component::ALL {
             // Small per-measurement jitter on top of the structured noise.
             let jitter = 1.0 + 0.001 * self.rng.next_gaussian();
-            let mut speed =
-                self.placement.get(c) * (1.0 + interference.get(c)).max(0.05) * jitter;
+            let mut speed = self.placement.get(c) * (1.0 + interference.get(c)).max(0.05) * jitter;
             if credits_depleted && matches!(c, Component::Cpu | Component::Disk) {
                 speed *= self
                     .credits

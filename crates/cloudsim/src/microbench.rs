@@ -157,7 +157,12 @@ mod tests {
     use tuna_stats::rng::Rng;
 
     fn machine(seed: u64) -> Machine {
-        Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &Rng::seed_from(seed))
+        Machine::provision(
+            0,
+            &VmSku::d8s_v5(),
+            &Region::westus2(),
+            &Rng::seed_from(seed),
+        )
     }
 
     /// CoV of a benchmark across many freshly provisioned VMs.

@@ -328,7 +328,10 @@ mod tests {
         let cache = cov("stress-ng-cache");
         assert!(cpu < 0.012, "cpu {cpu}");
         assert!(disk < 0.012, "disk {disk}");
-        assert!(cpu < mem && mem < cache, "cpu {cpu} mem {mem} cache {cache}");
+        assert!(
+            cpu < mem && mem < cache,
+            "cpu {cpu} mem {mem} cache {cache}"
+        );
         assert!(mem > 0.02, "mem {mem}");
         assert!(os > 0.05, "os {os}");
         assert!(cache > 0.08, "cache {cache}");
@@ -359,8 +362,7 @@ mod tests {
             .series("pgbench-rw", "westus2", "Standard_D8s_v5", Lifespan::Short)
             .unwrap()
             .relative_samples();
-        let low_frac =
-            |v: &[f64]| v.iter().filter(|&&x| x < 0.75).count() as f64 / v.len() as f64;
+        let low_frac = |v: &[f64]| v.iter().filter(|&&x| x < 0.75).count() as f64 / v.len() as f64;
         assert!(low_frac(&bs) > 0.05, "burstable low mode {}", low_frac(&bs));
         assert!(low_frac(&nb) < 0.01, "non-burstable {}", low_frac(&nb));
     }
@@ -371,7 +373,12 @@ mod tests {
         // across-placement variance the short fleet sees.
         let r = quick_report();
         let long = r
-            .cov("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+            .cov(
+                "mlc-maxbw-1to1",
+                "westus2",
+                "Standard_D8s_v5",
+                Lifespan::Long,
+            )
             .unwrap();
         let short = r
             .cov(
@@ -388,7 +395,12 @@ mod tests {
     fn monthly_series_cover_study() {
         let r = quick_report();
         let s = r
-            .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+            .series(
+                "mlc-maxbw-1to1",
+                "westus2",
+                "Standard_D8s_v5",
+                Lifespan::Long,
+            )
             .unwrap();
         assert_eq!(s.monthly.len(), 2); // 8 weeks = 2 months.
         assert!(s.monthly.iter().all(|m| m.count() > 0));
@@ -398,7 +410,12 @@ mod tests {
     fn relative_samples_centred_on_one() {
         let r = quick_report();
         let s = r
-            .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Short)
+            .series(
+                "mlc-maxbw-1to1",
+                "westus2",
+                "Standard_D8s_v5",
+                Lifespan::Short,
+            )
             .unwrap();
         let rel = s.relative_samples();
         assert!(!rel.is_empty());

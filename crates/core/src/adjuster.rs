@@ -111,7 +111,11 @@ impl NoiseAdjuster {
         // as the paper does.
         let mut model = StandardizedRegressor::new(RandomForest::new(self.config.forest));
         if model
-            .fit(&self.train_x, &self.train_y, &mut rng.fork(self.generations as u64))
+            .fit(
+                &self.train_x,
+                &self.train_y,
+                &mut rng.fork(self.generations as u64),
+            )
             .is_ok()
         {
             self.model = Some(model);

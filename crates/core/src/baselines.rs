@@ -161,8 +161,7 @@ mod tests {
         let pg = Postgres::new();
         let w = tuna_workloads::tpcc();
         let mut rng = Rng::seed_from(2);
-        let result =
-            run_naive_distributed(&pg, &w, smac(&pg), cluster(2, 10), 100, 1.0, &mut rng);
+        let result = run_naive_distributed(&pg, &w, smac(&pg), cluster(2, 10), 100, 1.0, &mut rng);
         assert_eq!(result.total_samples, 100);
         assert_eq!(result.trace.len(), 10);
         assert!(result.trace.iter().all(|r| r.new_samples == 10));

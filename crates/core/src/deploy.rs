@@ -138,8 +138,28 @@ mod tests {
         let pg = Postgres::new();
         let w = tuna_workloads::tpcc();
         let mut rng = Rng::seed_from(2);
-        let a = evaluate_deployment(&pg, &w, &pg.default_config(), &base(), 1, 10, 1, 1.0, &mut rng);
-        let b = evaluate_deployment(&pg, &w, &pg.default_config(), &base(), 2, 10, 1, 1.0, &mut rng);
+        let a = evaluate_deployment(
+            &pg,
+            &w,
+            &pg.default_config(),
+            &base(),
+            1,
+            10,
+            1,
+            1.0,
+            &mut rng,
+        );
+        let b = evaluate_deployment(
+            &pg,
+            &w,
+            &pg.default_config(),
+            &base(),
+            2,
+            10,
+            1,
+            1.0,
+            &mut rng,
+        );
         assert_ne!(a.values, b.values);
     }
 
@@ -154,8 +174,7 @@ mod tests {
         );
         let mut rng = Rng::seed_from(3);
         let penalty = 0.908;
-        let stats =
-            evaluate_deployment(&rd, &w, &broken, &base(), 3, 10, 2, penalty, &mut rng);
+        let stats = evaluate_deployment(&rd, &w, &broken, &base(), 3, 10, 2, penalty, &mut rng);
         assert_eq!(stats.crashes, 20);
         assert!(stats.values.iter().all(|&v| v == penalty));
     }

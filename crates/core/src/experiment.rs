@@ -201,7 +201,8 @@ impl Experiment {
             hash_combine(seed, 0xE0_0001),
         );
         let mut rng = Rng::seed_from(hash_combine(seed, 0xE0_0002));
-        let crash_penalty = default_worst_case(sut.as_ref(), &self.workload, &base_cluster, &mut rng);
+        let crash_penalty =
+            default_worst_case(sut.as_ref(), &self.workload, &base_cluster, &mut rng);
 
         let (best_config, tuning) = match method {
             Method::DefaultConfig => (sut.default_config(), None),

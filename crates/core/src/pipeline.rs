@@ -206,7 +206,9 @@ impl<'a> TunaPipeline<'a> {
     pub fn step(&mut self, rng: &mut Rng) {
         let suggestion = self.optimizer.ask(rng);
         let id = suggestion.config.id();
-        self.configs.entry(id).or_insert_with(|| suggestion.config.clone());
+        self.configs
+            .entry(id)
+            .or_insert_with(|| suggestion.config.clone());
 
         // Schedule new runs on unvisited, least-loaded workers.
         let assigned = self.scheduler.assign(id, suggestion.budget);
@@ -261,7 +263,8 @@ impl<'a> TunaPipeline<'a> {
         if unstable {
             reported = self.detector.penalize(reported, objective);
         }
-        self.optimizer.tell(&suggestion.config, reported, suggestion.budget);
+        self.optimizer
+            .tell(&suggestion.config, reported, suggestion.budget);
 
         // Max-budget completions feed the model (inference above happened
         // with the pre-update model: no leakage).
@@ -280,9 +283,7 @@ impl<'a> TunaPipeline<'a> {
                         / clean.len() as f64;
                     let adjusted_rel_err = clean
                         .iter()
-                        .map(|s| {
-                            (self.adjuster.adjust(s, false) - truth).abs() / truth.abs()
-                        })
+                        .map(|s| (self.adjuster.adjust(s, false) - truth).abs() / truth.abs())
                         .sum::<f64>()
                         / clean.len() as f64;
                     model_error = Some(ModelErrorRecord {
@@ -370,11 +371,7 @@ mod tests {
     use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
     use tuna_sut::postgres::Postgres;
 
-    fn quick_pipeline<'a>(
-        pg: &'a Postgres,
-        workload: &'a Workload,
-        seed: u64,
-    ) -> TunaPipeline<'a> {
+    fn quick_pipeline<'a>(pg: &'a Postgres, workload: &'a Workload, seed: u64) -> TunaPipeline<'a> {
         let cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), seed);
         let optimizer = SmacOptimizer::multi_fidelity(
             pg.space().clone(),
@@ -438,7 +435,11 @@ mod tests {
         p.run_until_samples(60, &mut rng);
         let result = p.finish();
         assert!(result.total_samples >= 60);
-        assert!(result.total_samples < 90, "overshot: {}", result.total_samples);
+        assert!(
+            result.total_samples < 90,
+            "overshot: {}",
+            result.total_samples
+        );
     }
 
     #[test]

@@ -17,10 +17,7 @@ pub fn render_table(rows: &[Vec<String>]) -> String {
         return String::new();
     }
     let cols = rows[0].len();
-    assert!(
-        rows.iter().all(|r| r.len() == cols),
-        "ragged table rows"
-    );
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged table rows");
     let mut widths = vec![0usize; cols];
     for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {

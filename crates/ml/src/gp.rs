@@ -33,11 +33,7 @@ pub enum Kernel {
 impl Kernel {
     /// Covariance between two points.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r2: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>();
+        let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
         match self {
             Kernel::Rbf {
                 lengthscale,

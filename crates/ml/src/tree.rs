@@ -381,9 +381,8 @@ mod tests {
     #[test]
     fn single_sample_is_leaf() {
         let mut rng = Rng::seed_from(8);
-        let t =
-            RegressionTree::fit(&[vec![1.0, 2.0]], &[5.0], TreeParams::default(), &mut rng)
-                .unwrap();
+        let t = RegressionTree::fit(&[vec![1.0, 2.0]], &[5.0], TreeParams::default(), &mut rng)
+            .unwrap();
         assert_eq!(t.node_count(), 1);
         assert_eq!(t.predict(&[0.0, 0.0]), 5.0);
     }

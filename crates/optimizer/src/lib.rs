@@ -125,8 +125,14 @@ mod tests {
     #[test]
     fn objective_cost_round_trip() {
         for raw in [-3.0, 0.0, 7.5] {
-            assert_eq!(Objective::Minimize.from_cost(Objective::Minimize.to_cost(raw)), raw);
-            assert_eq!(Objective::Maximize.from_cost(Objective::Maximize.to_cost(raw)), raw);
+            assert_eq!(
+                Objective::Minimize.from_cost(Objective::Minimize.to_cost(raw)),
+                raw
+            );
+            assert_eq!(
+                Objective::Maximize.from_cost(Objective::Maximize.to_cost(raw)),
+                raw
+            );
         }
     }
 

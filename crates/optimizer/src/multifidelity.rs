@@ -232,12 +232,7 @@ mod tests {
     }
 
     fn mf(ladder: LadderParams) -> MultiFidelityOptimizer<RandomProposer> {
-        MultiFidelityOptimizer::with_proposer(
-            space(),
-            Objective::Minimize,
-            ladder,
-            RandomProposer,
-        )
+        MultiFidelityOptimizer::with_proposer(space(), Objective::Minimize, ladder, RandomProposer)
     }
 
     /// Runs a synthetic loop where cost = x (lower x better) and returns

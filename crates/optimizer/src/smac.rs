@@ -78,7 +78,10 @@ impl Proposer for SmacProposer {
 
         let (x, y) = history.surrogate_data(space);
         let mut forest = RandomForest::new(self.params.forest);
-        if forest.fit(&x, &y, &mut rng.fork(history.len() as u64)).is_err() {
+        if forest
+            .fit(&x, &y, &mut rng.fork(history.len() as u64))
+            .is_err()
+        {
             return space.sample(rng);
         }
         let best_cost = y.iter().copied().fold(f64::INFINITY, f64::min);
@@ -127,12 +130,7 @@ impl SmacOptimizer {
         params: SmacParams,
         ladder: LadderParams,
     ) -> SmacOptimizer {
-        MultiFidelityOptimizer::with_proposer(
-            space,
-            objective,
-            ladder,
-            SmacProposer::new(params),
-        )
+        MultiFidelityOptimizer::with_proposer(space, objective, ladder, SmacProposer::new(params))
     }
 }
 
@@ -229,7 +227,8 @@ mod tests {
     #[test]
     fn smac_maximization_works() {
         let space = space2d();
-        let mut smac = SmacOptimizer::new(space.clone(), Objective::Maximize, SmacParams::default());
+        let mut smac =
+            SmacOptimizer::new(space.clone(), Objective::Maximize, SmacParams::default());
         let mut rng = Rng::seed_from(7);
         for _ in 0..60 {
             let s = smac.ask(&mut rng);
@@ -264,7 +263,8 @@ mod tests {
     #[test]
     fn proposals_always_validate() {
         let space = space2d();
-        let mut smac = SmacOptimizer::new(space.clone(), Objective::Minimize, SmacParams::default());
+        let mut smac =
+            SmacOptimizer::new(space.clone(), Objective::Minimize, SmacParams::default());
         let mut rng = Rng::seed_from(3);
         for _ in 0..40 {
             let s = smac.ask(&mut rng);
@@ -282,7 +282,8 @@ mod tests {
             .boolean("flag")
             .float("f", -1.0, 1.0)
             .build();
-        let mut smac = SmacOptimizer::new(space.clone(), Objective::Minimize, SmacParams::default());
+        let mut smac =
+            SmacOptimizer::new(space.clone(), Objective::Minimize, SmacParams::default());
         let mut rng = Rng::seed_from(5);
         for _ in 0..30 {
             let s = smac.ask(&mut rng);

@@ -36,3 +36,40 @@ pub mod space;
 pub use config::{Config, ConfigId};
 pub use param::{Domain, ParamSpec, ParamValue};
 pub use space::{ConfigSpace, ConfigSpaceBuilder, SpaceError};
+
+#[cfg(test)]
+mod smoke {
+    use crate::{ConfigSpace, ParamValue};
+    use tuna_stats::rng::Rng;
+
+    #[test]
+    fn sampling_stays_within_declared_bounds() {
+        let space = ConfigSpace::builder()
+            .int("i", -5, 5)
+            .int_log("il", 1, 4096)
+            .float("f", 0.25, 4.0)
+            .categorical("c", &["a", "b", "c"])
+            .boolean("b")
+            .build();
+        let mut rng = Rng::seed_from(11);
+        for _ in 0..200 {
+            let cfg = space.sample(&mut rng);
+            assert!(space.validate(&cfg).is_ok());
+            match space.value_of(&cfg, "i") {
+                ParamValue::Int(v) => assert!((-5..=5).contains(&v)),
+                other => panic!("wrong domain for i: {other:?}"),
+            }
+            match space.value_of(&cfg, "il") {
+                ParamValue::Int(v) => assert!((1..=4096).contains(&v)),
+                other => panic!("wrong domain for il: {other:?}"),
+            }
+            match space.value_of(&cfg, "f") {
+                ParamValue::Float(v) => assert!((0.25..=4.0).contains(&v)),
+                other => panic!("wrong domain for f: {other:?}"),
+            }
+            for z in space.encode(&cfg) {
+                assert!((0.0..=1.0).contains(&z), "encoding {z} outside unit box");
+            }
+        }
+    }
+}

@@ -93,7 +93,10 @@ impl ConfigSpaceBuilder {
     ///
     /// Panics if `lo <= 0` or the bounds are invalid.
     pub fn float_log(mut self, name: &str, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && lo <= hi && hi.is_finite(), "float_log '{name}': invalid bounds");
+        assert!(
+            lo > 0.0 && lo <= hi && hi.is_finite(),
+            "float_log '{name}': invalid bounds"
+        );
         self.params
             .push(ParamSpec::new(name, Domain::Float { lo, hi, log: true }));
         self

@@ -25,7 +25,10 @@ impl Histogram {
     /// Panics if `bins == 0` or the bounds are invalid.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid bounds"
+        );
         Histogram {
             lo,
             hi,

@@ -50,3 +50,32 @@ pub use dist::Distribution;
 pub use online::Welford;
 pub use rng::Rng;
 pub use summary::{coefficient_of_variation, mean, quantile, relative_range, std_dev};
+
+#[cfg(test)]
+mod smoke {
+    use crate::{mean, std_dev, Rng, Welford};
+
+    #[test]
+    fn rng_fork_streams_are_deterministic_and_distinct() {
+        let root = Rng::seed_from(42);
+        let mut a = root.fork(1);
+        let mut b = root.fork(1);
+        let mut c = root.fork(2);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb, "same fork label must replay the same stream");
+        assert_ne!(xa, xc, "different fork labels must diverge");
+    }
+
+    #[test]
+    fn welford_agrees_with_batch_summary() {
+        let mut rng = Rng::seed_from(3);
+        let xs: Vec<f64> = (0..500).map(|_| rng.next_gaussian()).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((w.variance().sqrt() - std_dev(&xs)).abs() < 1e-9);
+    }
+}

@@ -149,7 +149,10 @@ impl Rng {
     /// Panics if `lo > hi` or either bound is not finite.
     #[inline]
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 

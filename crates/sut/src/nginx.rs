@@ -293,7 +293,10 @@ mod tests {
         let mut rng = Rng::seed_from(1);
         let mut cl = cluster(2);
         let vals: Vec<f64> = (0..100)
-            .map(|i| ng.run(&ng.default_config(), &w, cl.machine_mut(i % 10), &mut rng).value)
+            .map(|i| {
+                ng.run(&ng.default_config(), &w, cl.machine_mut(i % 10), &mut rng)
+                    .value
+            })
             .collect();
         let mean = summary::mean(&vals);
         assert!((mean - 69.7).abs() < 10.0, "default p95 {mean}");
@@ -306,7 +309,10 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         let mut cl = cluster(4);
         let vals: Vec<f64> = (0..100)
-            .map(|i| ng.run(&tuned(&ng), &w, cl.machine_mut(i % 10), &mut rng).value)
+            .map(|i| {
+                ng.run(&tuned(&ng), &w, cl.machine_mut(i % 10), &mut rng)
+                    .value
+            })
             .collect();
         let mean = summary::mean(&vals);
         assert!((30.0..55.0).contains(&mean), "tuned p95 {mean}");
@@ -315,15 +321,39 @@ mod tests {
     #[test]
     fn single_worker_is_much_slower() {
         let ng = Nginx::new();
-        let one = Nginx::efficiency(&ng.knobs(&set(&ng, ng.default_config(), "worker_processes", V::Int(1))), 8.0);
-        let eight = Nginx::efficiency(&ng.knobs(&set(&ng, ng.default_config(), "worker_processes", V::Int(8))), 8.0);
+        let one = Nginx::efficiency(
+            &ng.knobs(&set(
+                &ng,
+                ng.default_config(),
+                "worker_processes",
+                V::Int(1),
+            )),
+            8.0,
+        );
+        let eight = Nginx::efficiency(
+            &ng.knobs(&set(
+                &ng,
+                ng.default_config(),
+                "worker_processes",
+                V::Int(8),
+            )),
+            8.0,
+        );
         assert!(eight > one * 1.4, "one {one} eight {eight}");
     }
 
     #[test]
     fn no_keepalive_hurts() {
         let ng = Nginx::new();
-        let off = Nginx::efficiency(&ng.knobs(&set(&ng, ng.default_config(), "keepalive_timeout", V::Int(0))), 8.0);
+        let off = Nginx::efficiency(
+            &ng.knobs(&set(
+                &ng,
+                ng.default_config(),
+                "keepalive_timeout",
+                V::Int(0),
+            )),
+            8.0,
+        );
         let on = Nginx::efficiency(&ng.knobs(&ng.default_config()), 8.0);
         assert!(on > off * 1.2);
     }
@@ -373,8 +403,14 @@ mod tests {
     fn gzip_sweet_spot_beats_max_compression() {
         let ng = Nginx::new();
         let base = set(&ng, ng.default_config(), "gzip", V::Bool(true));
-        let mid = Nginx::efficiency(&ng.knobs(&set(&ng, base.clone(), "gzip_comp_level", V::Int(4))), 8.0);
-        let max = Nginx::efficiency(&ng.knobs(&set(&ng, base, "gzip_comp_level", V::Int(9))), 8.0);
+        let mid = Nginx::efficiency(
+            &ng.knobs(&set(&ng, base.clone(), "gzip_comp_level", V::Int(4))),
+            8.0,
+        );
+        let max = Nginx::efficiency(
+            &ng.knobs(&set(&ng, base, "gzip_comp_level", V::Int(9))),
+            8.0,
+        );
         assert!(mid > max);
     }
 

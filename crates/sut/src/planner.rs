@@ -21,7 +21,7 @@
 
 use tuna_cloudsim::machine::Machine;
 use tuna_space::ConfigId;
-use tuna_stats::rng::{hash_combine, u64_to_unit_f64, hash64, Rng};
+use tuna_stats::rng::{hash64, hash_combine, u64_to_unit_f64, Rng};
 
 /// Outcome of planning the sensitive JOIN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,14 +168,16 @@ mod tests {
     #[test]
     fn behavior_is_deterministic_per_machine_config() {
         let m = machine(3);
-        assert_eq!(behavior(0.1, 0.3, &m, cfg(7)), behavior(0.1, 0.3, &m, cfg(7)));
+        assert_eq!(
+            behavior(0.1, 0.3, &m, cfg(7)),
+            behavior(0.1, 0.3, &m, cfg(7))
+        );
     }
 
     #[test]
     fn different_configs_can_differ_on_same_machine() {
         let m = machine(4);
-        let outcomes: Vec<PlanBehavior> =
-            (0..64).map(|v| behavior(0.0, 0.3, &m, cfg(v))).collect();
+        let outcomes: Vec<PlanBehavior> = (0..64).map(|v| behavior(0.0, 0.3, &m, cfg(v))).collect();
         let first = outcomes[0];
         assert!(
             outcomes.iter().any(|b| *b != first),

@@ -180,8 +180,8 @@ impl Postgres {
         let read_resid = ((1.0 - h).powf(1.3) + 0.012)
             * (1.0 - 0.12 * knobs.effective_io_concurrency.max(1.0).log2() / 8.0);
         let wal = Self::wal_efficiency(knobs);
-        let rand_io = workload.demand.disk * (read_ratio * read_resid)
-            + workload.demand.disk * 0.15 * spill;
+        let rand_io =
+            workload.demand.disk * (read_ratio * read_resid) + workload.demand.disk * 0.15 * spill;
         let seq_io = workload.demand.disk * (1.0 - read_ratio) * wal;
 
         // CPU: jit helps analytics, costs a little on OLTP; sort spills
@@ -230,8 +230,7 @@ impl Postgres {
         let est_bad = knobs.random_page_cost * 1.9;
         // Better statistics widen the (correct) separation.
         let stats_accuracy = 0.7 + 0.3 * (knobs.default_statistics_target.log10() / 3.0);
-        let idio =
-            (u64_to_unit_f64(hash64(config_id.0 ^ 0x9A7E_11F5)) - 0.5) * 0.8;
+        let idio = (u64_to_unit_f64(hash64(config_id.0 ^ 0x9A7E_11F5)) - 0.5) * 0.8;
         (est_bad / est_good).ln() * stats_accuracy + idio
     }
 
@@ -369,24 +368,24 @@ impl SystemUnderTest for Postgres {
     fn default_config(&self) -> Config {
         use tuna_space::ParamValue as V;
         Config::new(vec![
-            V::Int(128),    // shared_buffers_mb
-            V::Int(4),      // work_mem_mb
-            V::Int(4096),   // effective_cache_size_mb
-            V::Int(16),     // wal_buffers_mb
-            V::Int(1024),   // max_wal_size_mb
-            V::Float(0.9),  // checkpoint_completion_target
-            V::Float(4.0),  // random_page_cost
-            V::Float(1.0),  // seq_page_cost
-            V::Int(1),      // effective_io_concurrency
-            V::Int(100),    // max_connections
-            V::Int(200),    // bgwriter_delay_ms
-            V::Int(100),    // default_statistics_target
-            V::Bool(true),  // jit
-            V::Bool(true),  // enable_bitmapscan
-            V::Bool(true),  // enable_hashjoin
-            V::Bool(true),  // enable_indexscan
-            V::Bool(true),  // enable_nestloop
-            V::Bool(true),  // enable_mergejoin
+            V::Int(128),   // shared_buffers_mb
+            V::Int(4),     // work_mem_mb
+            V::Int(4096),  // effective_cache_size_mb
+            V::Int(16),    // wal_buffers_mb
+            V::Int(1024),  // max_wal_size_mb
+            V::Float(0.9), // checkpoint_completion_target
+            V::Float(4.0), // random_page_cost
+            V::Float(1.0), // seq_page_cost
+            V::Int(1),     // effective_io_concurrency
+            V::Int(100),   // max_connections
+            V::Int(200),   // bgwriter_delay_ms
+            V::Int(100),   // default_statistics_target
+            V::Bool(true), // jit
+            V::Bool(true), // enable_bitmapscan
+            V::Bool(true), // enable_hashjoin
+            V::Bool(true), // enable_indexscan
+            V::Bool(true), // enable_nestloop
+            V::Bool(true), // enable_mergejoin
         ])
     }
 
@@ -433,8 +432,7 @@ impl SystemUnderTest for Postgres {
         let total = sum(&d, seq_io, &snap.speeds);
         let ratio = norm / total.max(1e-9);
 
-        let raw = ratio.powf(DEMAND_EXPONENT)
-            * Self::multiplier(&knobs, workload, memory_mb, olap)
+        let raw = ratio.powf(DEMAND_EXPONENT) * Self::multiplier(&knobs, workload, memory_mb, olap)
             / Self::swap_penalty(&knobs, workload, memory_mb);
         let mut rel = 1.0 + (raw - 1.0) * workload.tuning_headroom;
 
@@ -451,10 +449,7 @@ impl SystemUnderTest for Postgres {
                 ),
             };
             if choice == PlanChoice::Bad {
-                rel *= planner::bad_plan_factor(
-                    workload.join_fraction,
-                    workload.bad_plan_slowdown,
-                );
+                rel *= planner::bad_plan_factor(workload.join_fraction, workload.bad_plan_slowdown);
             }
         }
         rel = rel.max(1e-3);
@@ -590,10 +585,19 @@ mod tests {
         let mut default_vals = Vec::new();
         let mut tuned_vals = Vec::new();
         for i in 0..10 {
-            default_vals
-                .push(pg.run(&pg.default_config(), &tpcc, cluster.machine_mut(i), &mut rng).value);
-            tuned_vals
-                .push(pg.run(&good_config(&pg), &tpcc, cluster.machine_mut(i), &mut rng).value);
+            default_vals.push(
+                pg.run(
+                    &pg.default_config(),
+                    &tpcc,
+                    cluster.machine_mut(i),
+                    &mut rng,
+                )
+                .value,
+            );
+            tuned_vals.push(
+                pg.run(&good_config(&pg), &tpcc, cluster.machine_mut(i), &mut rng)
+                    .value,
+            );
         }
         let d = summary::mean(&default_vals);
         let t = summary::mean(&tuned_vals);
@@ -644,7 +648,10 @@ mod tests {
         for seed in 0..8 {
             let mut cluster = azure_cluster(200 + seed);
             let vals: Vec<f64> = (0..10)
-                .map(|i| pg.run(&good_config(&pg), &tpcc, cluster.machine_mut(i), &mut rng).value)
+                .map(|i| {
+                    pg.run(&good_config(&pg), &tpcc, cluster.machine_mut(i), &mut rng)
+                        .value
+                })
                 .collect();
             good_rr.push(summary::relative_range(&vals));
         }
@@ -665,7 +672,10 @@ mod tests {
         let mut vals = Vec::new();
         let mut cluster = azure_cluster(11);
         for i in 0..10 {
-            vals.push(pg.run(&fixed, &tpcc, cluster.machine_mut(i), &mut rng).value);
+            vals.push(
+                pg.run(&fixed, &tpcc, cluster.machine_mut(i), &mut rng)
+                    .value,
+            );
         }
         assert!(
             summary::relative_range(&vals) < 0.30,
@@ -680,16 +690,29 @@ mod tests {
         let tpcc = tuna_workloads::tpcc();
         let broken = pg
             .default_config()
-            .with(pg.space().index_of("enable_hashjoin").unwrap(), V::Bool(false))
-            .with(pg.space().index_of("enable_mergejoin").unwrap(), V::Bool(false));
+            .with(
+                pg.space().index_of("enable_hashjoin").unwrap(),
+                V::Bool(false),
+            )
+            .with(
+                pg.space().index_of("enable_mergejoin").unwrap(),
+                V::Bool(false),
+            );
         let mut rng = Rng::seed_from(7);
         let mut cluster = azure_cluster(12);
         let mut vals = Vec::new();
         for i in 0..10 {
-            vals.push(pg.run(&broken, &tpcc, cluster.machine_mut(i), &mut rng).value);
+            vals.push(
+                pg.run(&broken, &tpcc, cluster.machine_mut(i), &mut rng)
+                    .value,
+            );
         }
         // Forced bad plan: well below default, but *stable*.
-        assert!(summary::mean(&vals) < 620.0, "mean {}", summary::mean(&vals));
+        assert!(
+            summary::mean(&vals) < 620.0,
+            "mean {}",
+            summary::mean(&vals)
+        );
         assert!(summary::relative_range(&vals) < 0.30);
     }
 
@@ -698,7 +721,10 @@ mod tests {
         let pg = Postgres::new();
         let bad = pg
             .default_config()
-            .with(pg.space().index_of("shared_buffers_mb").unwrap(), V::Int(24_576))
+            .with(
+                pg.space().index_of("shared_buffers_mb").unwrap(),
+                V::Int(24_576),
+            )
             .with(pg.space().index_of("work_mem_mb").unwrap(), V::Int(1_024))
             .with(pg.space().index_of("max_connections").unwrap(), V::Int(300));
         let rel = pg.noiseless_rel(&bad, &tuna_workloads::tpcc(), 32.0 * 1024.0);
@@ -712,12 +738,20 @@ mod tests {
         let mut rng = Rng::seed_from(9);
         let tpch = tuna_workloads::tpch();
         let default_rt = pg
-            .run(&pg.default_config(), &tpch, cluster.machine_mut(0), &mut rng)
+            .run(
+                &pg.default_config(),
+                &tpch,
+                cluster.machine_mut(0),
+                &mut rng,
+            )
             .value;
         let tuned_rt = pg
             .run(&good_config(&pg), &tpch, cluster.machine_mut(1), &mut rng)
             .value;
-        assert!(default_rt > 100.0 && default_rt < 130.0, "default {default_rt}");
+        assert!(
+            default_rt > 100.0 && default_rt < 130.0,
+            "default {default_rt}"
+        );
         assert!(tuned_rt < default_rt * 0.75, "tuned {tuned_rt}");
     }
 
@@ -730,7 +764,15 @@ mod tests {
         let mut rng = Rng::seed_from(10);
         let tpcc = tuna_workloads::tpcc();
         let vals: Vec<f64> = (0..300)
-            .map(|_| pg.run(&pg.default_config(), &tpcc, cluster.machine_mut(0), &mut rng).value)
+            .map(|_| {
+                pg.run(
+                    &pg.default_config(),
+                    &tpcc,
+                    cluster.machine_mut(0),
+                    &mut rng,
+                )
+                .value
+            })
             .collect();
         let cov = summary::coefficient_of_variation(&vals);
         assert!((0.005..0.0723).contains(&cov), "CoV {cov}");

@@ -317,7 +317,10 @@ mod tests {
         let mut crashes = 0;
         let n = 2_000;
         for i in 0..n {
-            if rd.run(&aggressive, &w, cl.machine_mut(i % 10), &mut rng).crashed {
+            if rd
+                .run(&aggressive, &w, cl.machine_mut(i % 10), &mut rng)
+                .crashed
+            {
                 crashes += 1;
             }
         }

@@ -16,7 +16,11 @@ fn main() {
     let trad = exp.run(Method::Traditional, 23);
     let default = exp.run(Method::DefaultConfig, 23);
 
-    for (name, run) in [("TUNA", &tuna), ("traditional", &trad), ("default", &default)] {
+    for (name, run) in [
+        ("TUNA", &tuna),
+        ("traditional", &trad),
+        ("default", &default),
+    ] {
         println!(
             "  {name:<12} p95 {:>6.1} ms  std {:>5.2}  range [{:.1}, {:.1}]",
             run.deployment.mean,
@@ -32,15 +36,24 @@ fn main() {
     println!("  worker_processes   {}", knobs.worker_processes);
     println!("  worker_connections {}", knobs.worker_connections);
     println!("  keepalive_timeout  {}", knobs.keepalive_timeout);
-    println!("  sendfile           {}", if knobs.sendfile { "on" } else { "off" });
-    println!("  tcp_nopush         {}", if knobs.tcp_nopush { "on" } else { "off" });
+    println!(
+        "  sendfile           {}",
+        if knobs.sendfile { "on" } else { "off" }
+    );
+    println!(
+        "  tcp_nopush         {}",
+        if knobs.tcp_nopush { "on" } else { "off" }
+    );
     println!(
         "  gzip               {} (level {})",
         if knobs.gzip { "on" } else { "off" },
         knobs.gzip_comp_level
     );
     println!("  open_file_cache    max={}", knobs.open_file_cache);
-    println!("  access_log         {}", if knobs.access_log { "on" } else { "off" });
+    println!(
+        "  access_log         {}",
+        if knobs.access_log { "on" } else { "off" }
+    );
 
     println!(
         "improvement over default: {:+.1}% p95",

@@ -57,10 +57,20 @@ fn main() {
     println!();
     println!("long-running vs short-lived dispersion (MLC, westus2):");
     let long = report
-        .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Long)
+        .series(
+            "mlc-maxbw-1to1",
+            "westus2",
+            "Standard_D8s_v5",
+            Lifespan::Long,
+        )
         .expect("long");
     let short = report
-        .series("mlc-maxbw-1to1", "westus2", "Standard_D8s_v5", Lifespan::Short)
+        .series(
+            "mlc-maxbw-1to1",
+            "westus2",
+            "Standard_D8s_v5",
+            Lifespan::Short,
+        )
         .expect("short");
     println!(
         "  one long-lived VM: CoV {:.2}%   short-lived fleet: CoV {:.2}%",

@@ -54,7 +54,10 @@ fn main() {
         "configs: {}   samples: {}   unstable flagged: {}",
         result.n_configs, result.total_samples, result.n_unstable_configs
     );
-    println!("reported best: {:.0} tx/s (min across its nodes)", result.best_value);
+    println!(
+        "reported best: {:.0} tx/s (min across its nodes)",
+        result.best_value
+    );
 
     // Inspect the winning knobs.
     let knobs = pg.knobs(&result.best_config);

@@ -25,7 +25,11 @@ fn main() {
     let trad = exp.run(Method::Traditional, 11);
     let default = exp.run(Method::DefaultConfig, 11);
 
-    for (name, run) in [("TUNA", &tuna), ("traditional", &trad), ("default", &default)] {
+    for (name, run) in [
+        ("TUNA", &tuna),
+        ("traditional", &trad),
+        ("default", &default),
+    ] {
         println!(
             "  {name:<12} p95 {:>6.3} ms  std {:>6.3}  crashes {}",
             run.deployment.mean, run.deployment.std, run.deployment.crashes
@@ -54,13 +58,22 @@ fn main() {
             rd.space().index_of("appendonly").unwrap(),
             ParamValue::Bool(true),
         );
-    let mut cluster =
-        tuna_cloudsim::Cluster::new(10, tuna_cloudsim::VmSku::d8s_v5(), tuna_cloudsim::Region::westus2(), 3);
+    let mut cluster = tuna_cloudsim::Cluster::new(
+        10,
+        tuna_cloudsim::VmSku::d8s_v5(),
+        tuna_cloudsim::Region::westus2(),
+        3,
+    );
     let mut rng = tuna_stats::rng::Rng::seed_from(5);
     let crashes = (0..100)
         .filter(|i| {
-            rd.run(&aggressive, &tuna_workloads::ycsb_c(), cluster.machine_mut(i % 10), &mut rng)
-                .crashed
+            rd.run(
+                &aggressive,
+                &tuna_workloads::ycsb_c(),
+                cluster.machine_mut(i % 10),
+                &mut rng,
+            )
+            .crashed
         })
         .count();
     println!(

@@ -1,0 +1,26 @@
+//! Workspace facade for the TUNA reproduction.
+//!
+//! The implementation lives in the `crates/` workspace members; this
+//! crate re-exports them under one roof so downstream users can depend
+//! on `tuna` alone, and owns the cross-crate test pyramid (`tests/`)
+//! and runnable examples (`examples/`).
+//!
+//! Crate dependency graph (leaf first):
+//!
+//! ```text
+//! stats ─┬─ space ──┬─ optimizer ─┐
+//!        ├─ ml ─────┘             │
+//!        └─ cloudsim ─┬─ workloads├─ core ── bench
+//!                     ├─ metrics ─┤
+//!                     └─ sut ─────┘
+//! ```
+
+pub use tuna_cloudsim as cloudsim;
+pub use tuna_core as core;
+pub use tuna_metrics as metrics;
+pub use tuna_ml as ml;
+pub use tuna_optimizer as optimizer;
+pub use tuna_space as space;
+pub use tuna_stats as stats;
+pub use tuna_sut as sut;
+pub use tuna_workloads as workloads;

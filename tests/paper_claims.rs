@@ -21,7 +21,10 @@ fn claim_component_noise_ordering() {
     let mem = cov("mlc-maxbw-1to1");
     let os = cov("osbench-create-threads");
     let cache = cov("stress-ng-cache");
-    assert!(cpu < 0.01 && disk < 0.01, "CPU/disk too noisy: {cpu} {disk}");
+    assert!(
+        cpu < 0.01 && disk < 0.01,
+        "CPU/disk too noisy: {cpu} {disk}"
+    );
     assert!(mem > 0.02 && os > 0.05 && cache > 0.08);
     assert!(cpu < disk && disk < mem && mem < os && os < cache);
 }

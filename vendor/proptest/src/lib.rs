@@ -1,0 +1,537 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real
+//! `proptest` API, but this repository must build without network access
+//! to crates.io. This shim implements exactly the surface those tests
+//! use — the `proptest!` macro, `Strategy` with `prop_map`, range and
+//! tuple strategies, `any::<T>()`, `prop::collection::vec`, the
+//! `prop_assert*` macros and `ProptestConfig` — over a deterministic
+//! SplitMix64 generator, so `cargo test` is reproducible bit-for-bit.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - no shrinking: a failing case panics with the case index so it can
+//!   be replayed (`PROPTEST_CASES`/case index are deterministic);
+//! - the default case count is 32 (env `PROPTEST_CASES` overrides) and
+//!   an env cap `PROPTEST_MAX_CASES` bounds explicit `with_cases`
+//!   requests, keeping CI time bounded;
+//! - only the strategy combinators used in this workspace exist.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from a raw seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(seed)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Per-run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Requests an explicit case count (still subject to the
+        /// `PROPTEST_MAX_CASES` env cap).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count after applying environment overrides.
+        pub fn resolved_cases(&self) -> u32 {
+            let cap = env_u32("PROPTEST_MAX_CASES").unwrap_or(u32::MAX);
+            self.cases.min(cap).max(1)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: env_u32("PROPTEST_CASES").unwrap_or(32),
+            }
+        }
+    }
+
+    fn env_u32(name: &str) -> Option<u32> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+
+    /// Deterministic per-(test, case) generator: FNV-1a over the test
+    /// name, mixed with the case index and the optional `PROPTEST_SEED`.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64);
+        TestRng::from_seed(h ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((case as u64) << 32))
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a
+    /// strategy simply draws a value from the deterministic RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*}
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning several magnitudes.
+            (rng.next_f64() - 0.5) * 2e6
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    /// `Just(value)` — always generates a clone of `value`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty integer range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (start as i128 + off) as $t
+                }
+            }
+        )*}
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float range strategy");
+                    let v = self.start + (self.end - self.start) * rng.next_f64() as $t;
+                    // The lerp can round up to the excluded bound (wide
+                    // ranges where the ulp at `end` exceeds the step, or
+                    // f32 narrowing); keep the exclusive contract.
+                    if v >= self.end {
+                        <$t>::max(self.start, self.end.next_down())
+                    } else {
+                        v
+                    }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty float range strategy");
+                    // next_f64 is in [0, 1), which would make the upper
+                    // bound unreachable; generate both endpoints
+                    // explicitly so boundary behavior gets exercised.
+                    match rng.next_u64() % 32 {
+                        0 => start,
+                        1 => end,
+                        _ => start + (end - start) * rng.next_f64() as $t,
+                    }
+                }
+            }
+        )*}
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        }
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; failure panics with the
+/// condition text (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest!` block: expands each `fn name(arg in strategy, ..)`
+/// into a plain `#[test]` that replays `cases` deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::case_rng;
+
+    proptest! {
+        #[test]
+        fn int_range_in_bounds(x in 3i64..17) {
+            prop_assert!((3..17).contains(&x));
+        }
+
+        #[test]
+        fn inclusive_range_in_bounds(x in 1usize..=10) {
+            prop_assert!((1..=10).contains(&x));
+        }
+
+        #[test]
+        fn float_range_in_bounds(x in -2.5f64..4.0) {
+            prop_assert!((-2.5..4.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_respects_size_range(xs in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(
+            y in (0i64..10, 0i64..10).prop_map(|(a, b)| a + b)
+        ) {
+            prop_assert!((0..19).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_attribute_accepted(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    /// A false property must fail — the macro may not pass vacuously.
+    #[test]
+    #[should_panic]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn inner(x in 0i64..100) {
+                prop_assert!(x < 0, "must fire for every generated x");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn cases_draw_distinct_values() {
+        let draws: Vec<u64> = (0..16)
+            .map(|case| case_rng("cases_draw_distinct_values", case).next_u64())
+            .collect();
+        let mut unique = draws.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), draws.len(), "cases must not repeat a seed");
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let a = case_rng("t", 3).next_u64();
+        let b = case_rng("t", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, case_rng("t", 4).next_u64());
+        assert_ne!(a, case_rng("u", 3).next_u64());
+    }
+
+    #[test]
+    fn with_cases_respects_env_cap_floor() {
+        // The suite must pass under any PROPTEST_MAX_CASES the caller
+        // exports (CI sets it), so compute the expectation from the env.
+        let cap = std::env::var("PROPTEST_MAX_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(u32::MAX);
+        assert_eq!(
+            ProptestConfig::with_cases(24).resolved_cases(),
+            24.min(cap).max(1)
+        );
+        assert_eq!(ProptestConfig::with_cases(0).resolved_cases(), 1);
+    }
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.resolved_cases();
+                let __test_path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::case_rng(__test_path, __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(__payload) = __outcome {
+                        eprintln!(
+                            "proptest: '{__test_path}' failed at case {__case} of {__cases} \
+                             (draws are deterministic per case; PROPTEST_SEED varies them)"
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,108 @@
+//! Throughput of the parallel trial-execution engine: rounds/sec at 1 vs
+//! N workers.
+//!
+//! A "round" here is one cluster-wide batch — every machine lane runs a
+//! slate of configurations, the shape the engine sees from the scheduler,
+//! the naive-distributed baseline and deployment evaluation. Serial and
+//! parallel modes execute identical work and produce bit-identical
+//! outcomes, so the per-iteration times compare directly; on an N-core
+//! host the parallel rows should approach N× the serial row for
+//! cluster-wide batches (thread spawn overhead is amortized across the
+//! batch). The single-config row shows the small-batch regime where lanes
+//! are too short for parallelism to pay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tuna_cloudsim::{Cluster, Region, VmSku};
+use tuna_core::executor::{execute_batch, ExecutionMode, RunRequest};
+use tuna_space::Config;
+use tuna_stats::rng::{hash_combine, Rng};
+use tuna_sut::postgres::Postgres;
+use tuna_sut::SystemUnderTest;
+
+/// Cluster-wide round: `configs_per_lane` configs on each of `lanes`
+/// machines (the executor groups runs by machine, so each lane executes
+/// `configs_per_lane` trials in order).
+fn round_plan(pg: &Postgres, lanes: usize, configs_per_lane: usize) -> Vec<(Config, usize, u64)> {
+    let mut rng = Rng::seed_from(7);
+    let mut plan = Vec::with_capacity(lanes * configs_per_lane);
+    for c in 0..configs_per_lane {
+        let cfg = pg.space().sample(&mut rng);
+        for m in 0..lanes {
+            let stream = hash_combine(cfg.id().0, hash_combine(c as u64, m as u64));
+            plan.push((cfg.clone(), m, stream));
+        }
+    }
+    plan
+}
+
+fn modes() -> Vec<(&'static str, ExecutionMode)> {
+    vec![
+        ("serial", ExecutionMode::Serial),
+        ("par2", ExecutionMode::Parallel { workers: 2 }),
+        ("par4", ExecutionMode::Parallel { workers: 4 }),
+        ("par8", ExecutionMode::Parallel { workers: 8 }),
+    ]
+}
+
+fn bench_cluster_round(c: &mut Criterion) {
+    let pg = Postgres::new();
+    let workload = tuna_workloads::tpcc();
+    let mut group = c.benchmark_group("executor_round");
+    for (lanes, per_lane) in [(10usize, 8usize), (32, 16), (64, 32)] {
+        let plan = round_plan(&pg, lanes, per_lane);
+        for (name, mode) in modes() {
+            let mut cluster = Cluster::new(lanes, VmSku::d8s_v5(), Region::westus2(), 3);
+            let base = Rng::seed_from(4);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{lanes}x{per_lane}"), name),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let requests: Vec<RunRequest<'_>> = plan
+                            .iter()
+                            .map(|(cfg, m, stream)| RunRequest {
+                                config: cfg,
+                                machine: *m,
+                                stream: *stream,
+                            })
+                            .collect();
+                        let (outcomes, _) =
+                            execute_batch(mode, &pg, &workload, &mut cluster, &base, &requests);
+                        black_box(outcomes.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_config_round(c: &mut Criterion) {
+    // The pipeline's per-step shape: one config, one short run per lane.
+    let pg = Postgres::new();
+    let workload = tuna_workloads::tpcc();
+    let cfg = pg.default_config();
+    let mut group = c.benchmark_group("executor_step");
+    for (name, mode) in modes() {
+        let mut cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 5);
+        let base = Rng::seed_from(6);
+        group.bench_with_input(BenchmarkId::new("1x10", name), &mode, |b, &mode| {
+            b.iter(|| {
+                let requests: Vec<RunRequest<'_>> = (0..10)
+                    .map(|m| RunRequest {
+                        config: &cfg,
+                        machine: m,
+                        stream: hash_combine(cfg.id().0, m as u64),
+                    })
+                    .collect();
+                let (outcomes, _) =
+                    execute_batch(mode, &pg, &workload, &mut cluster, &base, &requests);
+                black_box(outcomes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_round, bench_single_config_round);
+criterion_main!(benches);

@@ -82,6 +82,7 @@ fn main() {
 
         let naive_opt = SmacOptimizer::new(sut.space().clone(), exp.objective(), exp.smac.clone());
         let naive_result = run_naive_distributed(
+            tuna_core::executor::ExecutionMode::from_env(),
             sut.as_ref(),
             &workload,
             Box::new(naive_opt),

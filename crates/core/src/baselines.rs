@@ -7,15 +7,18 @@
 //! - [`run_naive_distributed`] (§6.5.2): every config runs on every node
 //!   of the cluster, min-aggregated — robust but extremely sample-hungry.
 
+use crate::executor::{self, ExecutionMode, RunRequest};
 use crate::pipeline::{IterationRecord, TuningResult};
 use tuna_cloudsim::Cluster;
 use tuna_optimizer::Optimizer;
-use tuna_stats::rng::Rng;
+use tuna_stats::rng::{hash_combine, Rng};
 use tuna_sut::SystemUnderTest;
 use tuna_workloads::Workload;
 
 /// Traditional single-node sampling: one sample per suggestion, all on the
-/// same worker (worker 0 of `cluster`).
+/// same worker (worker 0 of `cluster`). Inherently serial — there is only
+/// one lane — but run randomness follows the same fork discipline as the
+/// executor (`rng.fork(hash_combine(round, config_id))`).
 pub fn run_traditional(
     sut: &dyn SystemUnderTest,
     workload: &Workload,
@@ -30,7 +33,13 @@ pub fn run_traditional(
     for round in 0..samples {
         let suggestion = optimizer.ask(rng);
         n_configs += 1;
-        let outcome = sut.run(&suggestion.config, workload, cluster.machine_mut(0), rng);
+        let mut run_rng = rng.fork(hash_combine(round as u64, suggestion.config.id().0));
+        let outcome = sut.run(
+            &suggestion.config,
+            workload,
+            cluster.machine_mut(0),
+            &mut run_rng,
+        );
         let value = if outcome.crashed {
             crash_penalty
         } else {
@@ -61,10 +70,14 @@ pub fn run_traditional(
     }
 }
 
-/// Naive distributed sampling: every suggestion runs on *all* workers;
-/// the worst observation is reported (same aggregation as TUNA so the
-/// §6.5.2 comparison isolates the scheduling policy).
+/// Naive distributed sampling: every suggestion runs on *all* workers
+/// (one executor lane per worker, parallelizable via `mode`); the worst
+/// observation is reported (same aggregation as TUNA so the §6.5.2
+/// comparison isolates the scheduling policy). Results are bit-identical
+/// across execution modes.
+#[allow(clippy::too_many_arguments)]
 pub fn run_naive_distributed(
+    mode: ExecutionMode,
     sut: &dyn SystemUnderTest,
     workload: &Workload,
     mut optimizer: Box<dyn Optimizer>,
@@ -82,15 +95,20 @@ pub fn run_naive_distributed(
     while total + n <= sample_budget {
         let suggestion = optimizer.ask(rng);
         n_configs += 1;
-        let mut values = Vec::with_capacity(n);
-        for i in 0..n {
-            let outcome = sut.run(&suggestion.config, workload, cluster.machine_mut(i), rng);
-            values.push(if outcome.crashed {
-                crash_penalty
-            } else {
-                outcome.value
-            });
-        }
+        let id = suggestion.config.id();
+        let requests: Vec<RunRequest<'_>> = (0..n)
+            .map(|i| RunRequest {
+                config: &suggestion.config,
+                machine: i,
+                stream: hash_combine(round as u64, hash_combine(id.0, i as u64)),
+            })
+            .collect();
+        let (outcomes, _) =
+            executor::execute_batch(mode, sut, workload, &mut cluster, rng, &requests);
+        let values: Vec<f64> = outcomes
+            .iter()
+            .map(|o| if o.crashed { crash_penalty } else { o.value })
+            .collect();
         total += n;
         round += 1;
         let reported = crate::aggregate::AggregationPolicy::WorstCase.aggregate(&values, objective);
@@ -161,10 +179,37 @@ mod tests {
         let pg = Postgres::new();
         let w = tuna_workloads::tpcc();
         let mut rng = Rng::seed_from(2);
-        let result = run_naive_distributed(&pg, &w, smac(&pg), cluster(2, 10), 100, 1.0, &mut rng);
+        let result = run_naive_distributed(
+            ExecutionMode::Serial,
+            &pg,
+            &w,
+            smac(&pg),
+            cluster(2, 10),
+            100,
+            1.0,
+            &mut rng,
+        );
         assert_eq!(result.total_samples, 100);
         assert_eq!(result.trace.len(), 10);
         assert!(result.trace.iter().all(|r| r.new_samples == 10));
+    }
+
+    #[test]
+    fn naive_distributed_parallel_matches_serial() {
+        let pg = Postgres::new();
+        let w = tuna_workloads::tpcc();
+        let run = |mode| {
+            let mut rng = Rng::seed_from(5);
+            run_naive_distributed(mode, &pg, &w, smac(&pg), cluster(5, 10), 80, 1.0, &mut rng)
+        };
+        let serial = run(ExecutionMode::Serial);
+        for workers in [2, 4, 10] {
+            assert_eq!(
+                serial,
+                run(ExecutionMode::Parallel { workers }),
+                "naive distributed diverged at {workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! conservative penalty — the worst value the default config produced —
 //! following the §6.4 methodology.
 
+use crate::executor::{self, ExecutionMode, RunRequest};
 use tuna_cloudsim::Cluster;
 use tuna_space::Config;
-use tuna_stats::rng::Rng;
+use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary::{self, FiveNumber};
 use tuna_sut::SystemUnderTest;
 use tuna_workloads::Workload;
@@ -35,6 +36,10 @@ pub struct DeployStats {
 /// Deploys `config` on `n_vms` freshly provisioned machines (derived from
 /// `base_cluster` with decorrelated placements), measuring `repeats` epochs
 /// per VM. Crashed runs contribute `crash_penalty` instead of their value.
+///
+/// Execution mode comes from the `TUNA_WORKERS` environment variable; use
+/// [`evaluate_deployment_with`] for explicit control. Results are
+/// identical either way.
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_deployment(
     sut: &dyn SystemUnderTest,
@@ -45,20 +50,62 @@ pub fn evaluate_deployment(
     n_vms: usize,
     repeats: usize,
     crash_penalty: f64,
-    rng: &mut Rng,
+    rng: &Rng,
+) -> DeployStats {
+    evaluate_deployment_with(
+        ExecutionMode::from_env(),
+        sut,
+        workload,
+        config,
+        base_cluster,
+        deploy_label,
+        n_vms,
+        repeats,
+        crash_penalty,
+        rng,
+    )
+}
+
+/// [`evaluate_deployment`] with an explicit [`ExecutionMode`]: each
+/// deployment VM is one executor lane running `repeats` epochs in order,
+/// and per-run randomness is forked from `rng` by
+/// `(config, deploy_label, vm, repeat)` — so the measured distribution is
+/// bit-identical for any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_deployment_with(
+    mode: ExecutionMode,
+    sut: &dyn SystemUnderTest,
+    workload: &Workload,
+    config: &Config,
+    base_cluster: &Cluster,
+    deploy_label: u64,
+    n_vms: usize,
+    repeats: usize,
+    crash_penalty: f64,
+    rng: &Rng,
 ) -> DeployStats {
     let mut cluster = base_cluster.fresh_cluster(n_vms, deploy_label);
+    let requests: Vec<RunRequest<'_>> = (0..n_vms)
+        .flat_map(|i| {
+            (0..repeats).map(move |r| RunRequest {
+                config,
+                machine: i,
+                stream: hash_combine(
+                    config.id().0,
+                    hash_combine(deploy_label, hash_combine(i as u64, r as u64)),
+                ),
+            })
+        })
+        .collect();
+    let (outcomes, _) = executor::execute_batch(mode, sut, workload, &mut cluster, rng, &requests);
     let mut values = Vec::with_capacity(n_vms * repeats);
     let mut crashes = 0;
-    for i in 0..n_vms {
-        for _ in 0..repeats {
-            let outcome = sut.run(config, workload, cluster.machine_mut(i), rng);
-            if outcome.crashed {
-                crashes += 1;
-                values.push(crash_penalty);
-            } else {
-                values.push(outcome.value);
-            }
+    for outcome in outcomes {
+        if outcome.crashed {
+            crashes += 1;
+            values.push(crash_penalty);
+        } else {
+            values.push(outcome.value);
         }
     }
     DeployStats {
@@ -77,9 +124,21 @@ pub fn default_worst_case(
     sut: &dyn SystemUnderTest,
     workload: &Workload,
     base_cluster: &Cluster,
-    rng: &mut Rng,
+    rng: &Rng,
 ) -> f64 {
-    let stats = evaluate_deployment(
+    default_worst_case_with(ExecutionMode::from_env(), sut, workload, base_cluster, rng)
+}
+
+/// [`default_worst_case`] with an explicit [`ExecutionMode`].
+pub fn default_worst_case_with(
+    mode: ExecutionMode,
+    sut: &dyn SystemUnderTest,
+    workload: &Workload,
+    base_cluster: &Cluster,
+    rng: &Rng,
+) -> f64 {
+    let stats = evaluate_deployment_with(
+        mode,
         sut,
         workload,
         &sut.default_config(),

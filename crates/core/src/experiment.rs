@@ -6,7 +6,8 @@
 //! exactly how every figure in the paper's evaluation is produced.
 
 use crate::baselines::{run_naive_distributed, run_traditional};
-use crate::deploy::{default_worst_case, evaluate_deployment, DeployStats};
+use crate::deploy::{default_worst_case_with, evaluate_deployment_with, DeployStats};
+use crate::executor::ExecutionMode;
 use crate::pipeline::{TunaConfig, TunaPipeline, TuningResult};
 use tuna_cloudsim::{Cluster, Region, VmSku};
 use tuna_optimizer::gp_opt::{GpOptimizer, GpParams};
@@ -94,6 +95,10 @@ pub struct Experiment {
     pub smac: SmacParams,
     /// GP hyperparameters.
     pub gp: GpParams,
+    /// Trial execution mode (tuning batches, naive-distributed rounds and
+    /// deployment evaluation). Results are bit-identical across modes —
+    /// this knob only trades wall-clock for threads.
+    pub exec: ExecutionMode,
 }
 
 /// One tuning-plus-deployment outcome.
@@ -128,6 +133,7 @@ impl Experiment {
                 ..SmacParams::default()
             },
             gp: GpParams::default(),
+            exec: ExecutionMode::from_env(),
         }
     }
 
@@ -202,7 +208,7 @@ impl Experiment {
         );
         let mut rng = Rng::seed_from(hash_combine(seed, 0xE0_0002));
         let crash_penalty =
-            default_worst_case(sut.as_ref(), &self.workload, &base_cluster, &mut rng);
+            default_worst_case_with(self.exec, sut.as_ref(), &self.workload, &base_cluster, &rng);
 
         let (best_config, tuning) = match method {
             Method::DefaultConfig => (sut.default_config(), None),
@@ -213,6 +219,7 @@ impl Experiment {
                     _ => TunaConfig::paper_default(crash_penalty),
                 };
                 cfg.cluster_size = self.cluster_size;
+                cfg.mode = self.exec;
                 let optimizer = self.make_optimizer(sut.space(), true);
                 let mut pipeline = TunaPipeline::new(
                     cfg,
@@ -259,6 +266,7 @@ impl Experiment {
             Method::NaiveDistributed { samples } => {
                 let optimizer = self.make_optimizer(sut.space(), false);
                 let result = run_naive_distributed(
+                    self.exec,
                     sut.as_ref(),
                     &self.workload,
                     optimizer,
@@ -271,7 +279,8 @@ impl Experiment {
             }
         };
 
-        let deployment = evaluate_deployment(
+        let deployment = evaluate_deployment_with(
+            self.exec,
             sut.as_ref(),
             &self.workload,
             &best_config,

@@ -16,7 +16,11 @@
 //!    and divides it out (Algorithms 1-2, §4.3).
 //! 4. [`aggregate`] — the min (worst-case) aggregation policy (§4.4).
 //!
-//! [`pipeline`] wires these into the ask/run/tell loop of Figure 7/10,
+//! [`executor`] turns each round's `(config, machine)` plan into trial
+//! runs — serially or on a scoped-thread worker pool with one lane per
+//! simulated worker, bit-identically (forked per-run RNGs, disjoint
+//! machine lanes). [`pipeline`] wires these into the ask/run/tell loop of
+//! Figure 7/10,
 //! [`baselines`] implements the paper's comparison points (traditional
 //! single-node sampling, extended traditional, naive distributed), and
 //! [`deploy`]/[`experiment`] reproduce the evaluation protocol: tune, then
@@ -36,6 +40,7 @@ pub mod adjuster;
 pub mod aggregate;
 pub mod baselines;
 pub mod deploy;
+pub mod executor;
 pub mod experiment;
 pub mod outlier;
 pub mod pipeline;
@@ -45,5 +50,6 @@ pub mod scheduler;
 
 pub use adjuster::NoiseAdjuster;
 pub use aggregate::AggregationPolicy;
+pub use executor::{ExecStats, ExecutionMode};
 pub use outlier::{OutlierDetector, Stability};
 pub use pipeline::{TunaConfig, TunaPipeline};

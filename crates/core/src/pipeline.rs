@@ -5,7 +5,8 @@
 //! 1. the optimizer suggests `(config, budget)`;
 //! 2. the [`crate::scheduler::TaskScheduler`] plans new runs
 //!    on nodes the config has not visited (reusing lower-budget samples);
-//! 3. the SuT executes on those workers;
+//! 3. the [`crate::executor`] engine runs the SuT on those workers —
+//!    serially or one parallel lane per worker, bit-identically;
 //! 4. the [`crate::outlier::OutlierDetector`] classifies
 //!    the config from all its samples;
 //! 5. stable samples pass through the
@@ -22,6 +23,7 @@ use std::collections::HashMap;
 
 use crate::adjuster::{AdjusterConfig, NoiseAdjuster};
 use crate::aggregate::AggregationPolicy;
+use crate::executor::{self, ExecStats, ExecutionMode, RunRequest};
 use crate::outlier::OutlierDetector;
 use crate::sample::Sample;
 use crate::scheduler::TaskScheduler;
@@ -29,7 +31,7 @@ use tuna_cloudsim::Cluster;
 use tuna_optimizer::multifidelity::LadderParams;
 use tuna_optimizer::{Objective, Optimizer};
 use tuna_space::{Config, ConfigId};
-use tuna_stats::rng::Rng;
+use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary;
 use tuna_sut::SystemUnderTest;
 use tuna_workloads::Workload;
@@ -53,10 +55,16 @@ pub struct TunaConfig {
     /// Value substituted for crashed runs (orientation-appropriate; e.g.
     /// the worst default-config p95 per §6.4).
     pub crash_penalty: f64,
+    /// How each round's scheduled trials execute. Results are
+    /// bit-identical across modes and worker counts (see
+    /// [`crate::executor`]); parallel mode only changes wall-clock.
+    pub mode: ExecutionMode,
 }
 
 impl TunaConfig {
-    /// Paper-faithful defaults.
+    /// Paper-faithful defaults. The execution mode comes from the
+    /// `TUNA_WORKERS` environment variable (serial when unset) — results
+    /// do not depend on it.
     pub fn paper_default(crash_penalty: f64) -> Self {
         TunaConfig {
             cluster_size: 10,
@@ -66,6 +74,7 @@ impl TunaConfig {
             adjuster_enabled: true,
             aggregation: AggregationPolicy::WorstCase,
             crash_penalty,
+            mode: ExecutionMode::from_env(),
         }
     }
 
@@ -99,7 +108,11 @@ pub struct ModelErrorRecord {
 }
 
 /// Per-iteration trace record.
-#[derive(Debug, Clone)]
+///
+/// Contains no timing data, so two traces compare bit-identical across
+/// execution modes; wall-clock accounting lives in
+/// [`TunaPipeline::exec_stats`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// Iteration index.
     pub round: usize,
@@ -122,7 +135,12 @@ pub struct IterationRecord {
 }
 
 /// Output of a tuning run.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `PartialEq` and free of wall-clock data: the
+/// serial-equivalence contract is that the *entire* result — trace, best
+/// config, sample counts, unstable set — is bit-identical for any
+/// [`ExecutionMode`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningResult {
     /// Best configuration found (highest-budget tier preferred).
     pub best_config: Config,
@@ -156,6 +174,7 @@ pub struct TunaPipeline<'a> {
     trained_configs: HashMap<ConfigId, bool>,
     trace: Vec<IterationRecord>,
     round: usize,
+    exec: ExecStats,
 }
 
 impl<'a> TunaPipeline<'a> {
@@ -194,6 +213,7 @@ impl<'a> TunaPipeline<'a> {
             trained_configs: HashMap::new(),
             trace: Vec::new(),
             round: 0,
+            exec: ExecStats::default(),
         }
     }
 
@@ -210,16 +230,33 @@ impl<'a> TunaPipeline<'a> {
             .entry(id)
             .or_insert_with(|| suggestion.config.clone());
 
-        // Schedule new runs on unvisited, least-loaded workers.
+        // Schedule new runs on unvisited, least-loaded workers and execute
+        // them through the trial engine — one lane per worker. Run-level
+        // randomness is forked per (config, machine) from the current rng
+        // state rather than drawn sequentially, so serial and parallel
+        // execution are bit-identical (see `crate::executor`).
         let assigned = self.scheduler.assign(id, suggestion.budget);
         let new_samples = assigned.len();
-        for machine_idx in assigned {
-            let outcome = self.sut.run(
-                &suggestion.config,
-                self.workload,
-                self.cluster.machine_mut(machine_idx),
-                rng,
-            );
+        let requests: Vec<RunRequest<'_>> = assigned
+            .iter()
+            .map(|&machine_idx| RunRequest {
+                config: &suggestion.config,
+                machine: machine_idx,
+                stream: hash_combine(id.0, machine_idx as u64),
+            })
+            .collect();
+        let (outcomes, batch) = executor::execute_batch(
+            self.config.mode,
+            self.sut,
+            self.workload,
+            &mut self.cluster,
+            rng,
+            &requests,
+        );
+        if !requests.is_empty() {
+            self.exec.absorb(&batch);
+        }
+        for (machine_idx, outcome) in assigned.into_iter().zip(outcomes) {
             let raw = if outcome.crashed {
                 self.config.crash_penalty
             } else {
@@ -361,6 +398,13 @@ impl<'a> TunaPipeline<'a> {
     /// The tuning cluster (for post-run inspection).
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Cumulative trial-execution accounting (lane busy time, wall-clock,
+    /// critical path). Kept out of [`TuningResult`] so results stay
+    /// bit-comparable across execution modes.
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec
     }
 }
 

@@ -84,6 +84,19 @@ impl TaskScheduler {
     pub fn load(&self) -> &[u64] {
         &self.load
     }
+
+    /// Difference between the most- and least-loaded workers.
+    ///
+    /// Fresh (never-promoted) assignments keep this at most 1: a batch of
+    /// size `b` takes the `b` globally least-loaded workers, raising every
+    /// minimum-load worker before touching any other. Promotions can
+    /// exceed 1 because the visited-set exclusion can force new runs onto
+    /// already-loaded workers.
+    pub fn load_spread(&self) -> u64 {
+        let max = self.load.iter().copied().max().unwrap_or(0);
+        let min = self.load.iter().copied().min().unwrap_or(0);
+        max - min
+    }
 }
 
 #[cfg(test)]

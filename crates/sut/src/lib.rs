@@ -66,7 +66,13 @@ pub struct RunOutcome {
 }
 
 /// A tunable system that can execute workloads on simulated machines.
-pub trait SystemUnderTest {
+///
+/// `Send + Sync` is a supertrait requirement: the parallel trial-execution
+/// engine shares one SuT across worker threads (each worker runs it
+/// against a disjoint machine lane), so implementations must be
+/// thread-shareable — in practice, plain immutable model data. All
+/// run-level mutability lives in the `machine` and `rng` arguments.
+pub trait SystemUnderTest: Send + Sync {
     /// System name.
     fn name(&self) -> &'static str;
 
@@ -122,6 +128,21 @@ mod tests {
         assert!(!rd.supports(&tuna_workloads::tpcc()));
         assert!(ng.supports(&tuna_workloads::wikipedia()));
         assert!(!ng.supports(&tuna_workloads::tpch()));
+    }
+
+    #[test]
+    fn suts_and_run_inputs_are_thread_shareable() {
+        // The parallel executor moves `&mut Machine` lanes into worker
+        // threads and shares `&dyn SystemUnderTest` + `&Workload` across
+        // them; every piece must be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Postgres>();
+        assert_send_sync::<Redis>();
+        assert_send_sync::<Nginx>();
+        assert_send_sync::<tuna_workloads::Workload>();
+        assert_send_sync::<tuna_cloudsim::machine::Machine>();
+        assert_send_sync::<RunOutcome>();
+        assert_send_sync::<&dyn SystemUnderTest>();
     }
 
     #[test]

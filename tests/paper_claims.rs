@@ -139,6 +139,76 @@ fn claim_burstable_bimodality() {
     assert!(low_mode("Standard_D8s_v5") < 0.01);
 }
 
+/// §4.1/§5.1 sample accounting under parallel execution: the total number
+/// of samples consumed equals the ladder's analytical budget — the sum,
+/// over evaluated configs, of the highest budget each config reached
+/// (lower-budget samples are reused on promotion, never retaken) — and is
+/// independent of the worker count.
+#[test]
+fn claim_parallel_sampling_preserves_ladder_budget() {
+    use std::collections::HashMap;
+    use tuna_cloudsim::{Cluster, Region, VmSku};
+    use tuna_core::executor::ExecutionMode;
+    use tuna_core::pipeline::{TunaConfig, TunaPipeline};
+    use tuna_optimizer::multifidelity::LadderParams;
+    use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+    use tuna_optimizer::Objective;
+    use tuna_stats::rng::Rng;
+    use tuna_sut::postgres::Postgres;
+    use tuna_sut::SystemUnderTest;
+
+    let tune = |mode: ExecutionMode| {
+        let pg = Postgres::new();
+        let workload = tuna_workloads::tpcc();
+        let cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 51);
+        let optimizer = SmacOptimizer::multi_fidelity(
+            pg.space().clone(),
+            Objective::Maximize,
+            SmacParams {
+                n_init: 5,
+                n_random_candidates: 30,
+                ..SmacParams::default()
+            },
+            LadderParams::paper_default(),
+        );
+        let mut cfg = TunaConfig::paper_default(1.0);
+        cfg.mode = mode;
+        let mut p = TunaPipeline::new(cfg, &pg, &workload, Box::new(optimizer), cluster);
+        let mut rng = Rng::seed_from(52);
+        p.run_rounds(60, &mut rng);
+        p.finish()
+    };
+
+    let serial = tune(ExecutionMode::Serial);
+    // Analytical ladder budget from the trace: each config consumes
+    // exactly its highest requested budget in distinct-node samples.
+    let mut peak_budget: HashMap<_, usize> = HashMap::new();
+    for r in &serial.trace {
+        let peak = peak_budget.entry(r.config_id).or_insert(0);
+        *peak = (*peak).max(r.budget);
+    }
+    let analytical: usize = peak_budget.values().sum();
+    assert_eq!(
+        serial.total_samples, analytical,
+        "sample reuse broken: consumed {} vs ladder budget {}",
+        serial.total_samples, analytical
+    );
+    assert_eq!(
+        serial.trace.last().unwrap().cumulative_samples,
+        serial.total_samples
+    );
+
+    for workers in [1usize, 2, 4, 10] {
+        let parallel = tune(ExecutionMode::Parallel { workers });
+        assert_eq!(
+            parallel.total_samples, analytical,
+            "worker count {workers} changed the sample budget"
+        );
+        let per_round: usize = parallel.trace.iter().map(|r| r.new_samples).sum();
+        assert_eq!(per_round, analytical);
+    }
+}
+
 /// The outlier detector's effect (Figure 20, scaled): without it, the
 /// deployment std across runs should not shrink.
 #[test]

@@ -1,0 +1,174 @@
+//! Serial ≡ parallel equivalence: the executor's determinism contract,
+//! end to end.
+//!
+//! The engine promises that a tuning run's *entire* [`TuningResult`] —
+//! trace, best config, sample counts, unstable set, model-error records —
+//! is bit-identical whether trials execute serially or on any number of
+//! worker threads. These tests pin that contract for all three SuTs and
+//! worker counts {1, 2, 4, 10}, at the pipeline level and at the full
+//! experiment level (tuning + deployment on fresh VMs).
+
+use tuna_core::executor::ExecutionMode;
+use tuna_core::experiment::{Experiment, Method};
+use tuna_core::pipeline::{TunaConfig, TunaPipeline, TuningResult};
+use tuna_optimizer::multifidelity::LadderParams;
+use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+use tuna_optimizer::Objective;
+use tuna_stats::rng::Rng;
+use tuna_sut::postgres::Postgres;
+use tuna_sut::SystemUnderTest;
+use tuna_workloads::Workload;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 10];
+
+fn tune(workload: &Workload, mode: ExecutionMode, seed: u64, rounds: usize) -> TuningResult {
+    // Reuse the production workload→SuT and metric→objective mappings.
+    let mut exp = Experiment::quick_demo();
+    exp.workload = workload.clone();
+    let sut = exp.make_sut();
+    let objective = exp.objective();
+    let cluster = tuna_cloudsim::Cluster::new(
+        10,
+        tuna_cloudsim::VmSku::d8s_v5(),
+        tuna_cloudsim::Region::westus2(),
+        seed,
+    );
+    let optimizer = SmacOptimizer::multi_fidelity(
+        sut.space().clone(),
+        objective,
+        SmacParams {
+            n_init: 5,
+            n_random_candidates: 30,
+            n_neighbors: 4,
+            ..SmacParams::default()
+        },
+        LadderParams::paper_default(),
+    );
+    let mut cfg = TunaConfig::paper_default(workload.metric.nominal());
+    cfg.mode = mode;
+    let mut pipeline = TunaPipeline::new(cfg, sut.as_ref(), workload, Box::new(optimizer), cluster);
+    let mut rng = Rng::seed_from(seed + 1);
+    pipeline.run_rounds(rounds, &mut rng);
+    pipeline.finish()
+}
+
+/// For each SuT and each worker count, the full `TuningResult` must be
+/// bit-identical to serial execution.
+#[test]
+fn tuning_result_bit_identical_across_modes_all_suts() {
+    for workload in [
+        tuna_workloads::tpcc(),
+        tuna_workloads::ycsb_c(),
+        tuna_workloads::wikipedia(),
+    ] {
+        let serial = tune(&workload, ExecutionMode::Serial, 11, 25);
+        assert!(!serial.trace.is_empty());
+        for workers in WORKER_COUNTS {
+            let parallel = tune(&workload, ExecutionMode::Parallel { workers }, 11, 25);
+            assert_eq!(
+                serial, parallel,
+                "{} diverged from serial at {workers} workers",
+                workload.name
+            );
+        }
+    }
+}
+
+/// Equality must extend to every result facet the paper reports: best
+/// value bits, per-round reported values, unstable classifications and
+/// cumulative sample accounting.
+#[test]
+fn trace_facets_match_bitwise() {
+    let workload = tuna_workloads::tpcc();
+    let serial = tune(&workload, ExecutionMode::Serial, 23, 40);
+    let parallel = tune(&workload, ExecutionMode::Parallel { workers: 10 }, 23, 40);
+    assert_eq!(serial.best_value.to_bits(), parallel.best_value.to_bits());
+    assert_eq!(serial.best_config, parallel.best_config);
+    assert_eq!(serial.n_unstable_configs, parallel.n_unstable_configs);
+    assert_eq!(serial.total_samples, parallel.total_samples);
+    for (s, p) in serial.trace.iter().zip(&parallel.trace) {
+        assert_eq!(
+            s.reported.to_bits(),
+            p.reported.to_bits(),
+            "round {}",
+            s.round
+        );
+        assert_eq!(s.unstable, p.unstable, "round {}", s.round);
+        assert_eq!(s.cumulative_samples, p.cumulative_samples);
+    }
+    assert_eq!(serial.model_errors, parallel.model_errors);
+}
+
+/// The full experiment protocol — tuning plus deployment on fresh VMs —
+/// is mode-invariant too (deployment lanes use the same fork discipline).
+#[test]
+fn experiment_with_deployment_is_mode_invariant() {
+    let run = |exec: ExecutionMode| {
+        let mut exp = Experiment::quick_demo();
+        exp.rounds = 15;
+        exp.exec = exec;
+        exp.run(Method::Tuna, 77)
+    };
+    let serial = run(ExecutionMode::Serial);
+    for workers in [2, 4] {
+        let parallel = run(ExecutionMode::Parallel { workers });
+        assert_eq!(serial.best_config, parallel.best_config);
+        assert_eq!(serial.tuning, parallel.tuning);
+        assert_eq!(
+            serial.deployment.values, parallel.deployment.values,
+            "deployment distribution diverged at {workers} workers"
+        );
+        assert_eq!(serial.deployment.crashes, parallel.deployment.crashes);
+    }
+}
+
+/// The naive-distributed baseline rides the same engine; §6.5.2 numbers
+/// must not depend on the worker count either.
+#[test]
+fn naive_distributed_baseline_is_mode_invariant() {
+    let run = |exec: ExecutionMode| {
+        let mut exp = Experiment::quick_demo();
+        exp.rounds = 10;
+        exp.exec = exec;
+        exp.run(Method::NaiveDistributed { samples: 100 }, 13)
+    };
+    let serial = run(ExecutionMode::Serial);
+    let parallel = run(ExecutionMode::Parallel { workers: 10 });
+    assert_eq!(serial.tuning, parallel.tuning);
+    assert_eq!(serial.deployment.values, parallel.deployment.values);
+}
+
+/// Executor accounting: every scheduled sample is executed and counted
+/// exactly once, and the critical path never exceeds the busy total.
+#[test]
+fn exec_stats_account_for_every_run() {
+    let workload = tuna_workloads::tpcc();
+    let sut = Postgres::new();
+    let cluster = tuna_cloudsim::Cluster::new(
+        10,
+        tuna_cloudsim::VmSku::d8s_v5(),
+        tuna_cloudsim::Region::westus2(),
+        3,
+    );
+    let optimizer = SmacOptimizer::multi_fidelity(
+        sut.space().clone(),
+        Objective::Maximize,
+        SmacParams {
+            n_init: 5,
+            n_random_candidates: 30,
+            ..SmacParams::default()
+        },
+        LadderParams::paper_default(),
+    );
+    let mut cfg = TunaConfig::paper_default(1.0);
+    cfg.mode = ExecutionMode::Parallel { workers: 4 };
+    let mut pipeline = TunaPipeline::new(cfg, &sut, &workload, Box::new(optimizer), cluster);
+    let mut rng = Rng::seed_from(4);
+    pipeline.run_rounds(30, &mut rng);
+    let stats = *pipeline.exec_stats();
+    let result = pipeline.finish();
+    assert_eq!(stats.runs, result.total_samples);
+    assert!(stats.batches <= 30);
+    assert!(stats.critical_nanos <= stats.busy_nanos);
+    assert!(stats.speedup() > 0.0);
+}

@@ -56,6 +56,78 @@ proptest! {
         }
     }
 
+    /// Batch plans are sound for arbitrary ladder promotion sequences:
+    /// a plan never exceeds the cluster size or the requested budget,
+    /// never revisits a node, tops the config up to exactly the requested
+    /// budget, and per-worker load always equals the number of configs
+    /// that sampled that worker.
+    #[test]
+    fn scheduler_batch_plans_sound(
+        seed in any::<u64>(),
+        steps in prop::collection::vec((0usize..8, 0usize..3), 1..40)
+    ) {
+        let ladder = [1usize, 3, 10];
+        let mut sched = TaskScheduler::new(10);
+        // Distinct config ids keyed by the seed (identity collisions would
+        // muddy the per-config load accounting below).
+        let ids: Vec<tuna_space::ConfigId> = (0..8)
+            .map(|i| {
+                tuna_space::Config::new(vec![
+                    tuna_space::ParamValue::Int(i),
+                    tuna_space::ParamValue::Int(seed as i64 & 0xFFFF),
+                ])
+                .id()
+            })
+            .collect();
+        for &(which, tier) in &steps {
+            let id = ids[which];
+            let before = sched.visited(id).len();
+            let budget = ladder[tier];
+            let plan = sched.assign(id, budget);
+            prop_assert!(plan.len() <= 10, "plan exceeds cluster");
+            prop_assert!(plan.len() <= budget, "plan exceeds budget");
+            prop_assert_eq!(plan.len(), budget.saturating_sub(before),
+                "plan must top the config up to its budget");
+            let mut visited = sched.visited(id).to_vec();
+            prop_assert_eq!(visited.len(), before.max(budget));
+            let n = visited.len();
+            visited.sort_unstable();
+            visited.dedup();
+            prop_assert_eq!(visited.len(), n, "node revisited");
+        }
+        // Load accounting: each worker's load is the number of configs
+        // that have sampled it.
+        let mut per_worker = vec![0u64; 10];
+        for &id in &ids {
+            for &w in sched.visited(id) {
+                per_worker[w] += 1;
+            }
+        }
+        prop_assert_eq!(per_worker.as_slice(), sched.load());
+        prop_assert_eq!(sched.total_assigned(), per_worker.iter().sum::<u64>());
+    }
+
+    /// First-time (never-promoted) assignments keep worker load balanced
+    /// within 1 for arbitrary budget mixes: a batch of size `b` takes the
+    /// `b` globally least-loaded workers, raising every minimum before
+    /// touching anything else. (Promotions can legally exceed 1 because
+    /// the distinct-node guarantee can force runs off the minimum; see
+    /// `TaskScheduler::load_spread`.)
+    #[test]
+    fn scheduler_fresh_assignments_balance_within_one(
+        seed in any::<u64>(),
+        budgets in prop::collection::vec(1usize..=10, 1..60)
+    ) {
+        let mut sched = TaskScheduler::new(10);
+        let mut rng = Rng::seed_from(seed);
+        let space = tuna_space::ConfigSpace::builder().int("x", 0, 100_000_000).build();
+        for &b in &budgets {
+            sched.assign(space.sample(&mut rng).id(), b);
+            prop_assert!(sched.load_spread() <= 1,
+                "fresh assignment unbalanced: {:?}", sched.load());
+        }
+    }
+
     /// Worst-case aggregation is always at least as pessimistic as the
     /// mean, in the correct orientation.
     #[test]

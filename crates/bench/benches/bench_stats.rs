@@ -3,7 +3,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tuna_stats::dist::{Distribution, LogNormal, Zipf};
 use tuna_stats::hist::Kde;
-use tuna_stats::online::Welford;
+use tuna_stats::online::{P2Quantile, Welford};
 use tuna_stats::rng::Rng;
 use tuna_stats::summary;
 
@@ -58,5 +58,57 @@ fn bench_summaries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rng, bench_distributions, bench_summaries);
+/// Streaming/selection estimators vs the retained naive oracles on the
+/// 10k-sample windows the perf gate tracks. The selection paths are
+/// expected to hold a >=2x lead (they measure ~10x here): O(n)
+/// selection with a reused scratch vs clone-and-sort per call.
+fn bench_streaming_vs_naive_10k(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(6);
+    let xs: Vec<f64> = (0..10_000).map(|_| rng.next_gaussian()).collect();
+
+    c.bench_function("summary10k/naive_median", |b| {
+        b.iter(|| black_box(summary::naive::median(&xs)))
+    });
+    let mut scratch = Vec::new();
+    c.bench_function("summary10k/select_median", |b| {
+        b.iter(|| black_box(summary::median_with(&xs, &mut scratch)))
+    });
+
+    c.bench_function("summary10k/naive_mad", |b| {
+        b.iter(|| black_box(summary::naive::mad(&xs)))
+    });
+    c.bench_function("summary10k/select_mad", |b| {
+        b.iter(|| black_box(summary::mad_with(&xs, &mut scratch)))
+    });
+
+    c.bench_function("summary10k/naive_quantile_p95", |b| {
+        b.iter(|| black_box(summary::naive::quantile(&xs, 0.95)))
+    });
+    c.bench_function("summary10k/select_quantile_p95", |b| {
+        b.iter(|| black_box(summary::quantile_with(&xs, 0.95, &mut scratch)))
+    });
+
+    c.bench_function("summary10k/five_number_single_sort", |b| {
+        b.iter(|| black_box(summary::FiveNumber::of_with(&xs, &mut scratch)))
+    });
+
+    // Streaming P² per-update cost on the same window.
+    c.bench_function("summary10k/p2_quantile_stream", |b| {
+        b.iter(|| {
+            let mut p95 = P2Quantile::new(0.95);
+            for &x in &xs {
+                p95.push(x);
+            }
+            black_box(p95.value())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_distributions,
+    bench_summaries,
+    bench_streaming_vs_naive_10k
+);
 criterion_main!(benches);

@@ -43,7 +43,7 @@ fn main() {
             let sut = exp.make_sut();
             let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
             let mut rng = Rng::seed_from(hash_combine(seed, 9));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
+            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
             let mut cfg = TunaConfig::paper_default(crash_penalty);
             cfg.aggregation = policy;
             let optimizer = SmacOptimizer::multi_fidelity(
@@ -70,7 +70,7 @@ fn main() {
                 exp.deploy_vms,
                 exp.deploy_repeats,
                 crash_penalty,
-                &mut rng,
+                &rng,
             );
             summaries.push(tuna_core::experiment::RunSummary {
                 method: "ablation",

@@ -54,7 +54,7 @@ fn main() {
             let sut = exp.make_sut();
             let base = Cluster::new(cluster_size, exp.sku.clone(), exp.region.clone(), seed);
             let mut rng = Rng::seed_from(hash_combine(seed, 17));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
+            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
             let mut cfg = TunaConfig::paper_default(crash_penalty);
             cfg.cluster_size = cluster_size;
             cfg.ladder = ladder.clone();
@@ -82,7 +82,7 @@ fn main() {
                 exp.deploy_vms,
                 exp.deploy_repeats,
                 crash_penalty,
-                &mut rng,
+                &rng,
             );
             means.push(deployment.mean);
             stds.push(deployment.std);

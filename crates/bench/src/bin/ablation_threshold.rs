@@ -46,7 +46,7 @@ fn main() {
             let sut = exp.make_sut();
             let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
             let mut rng = Rng::seed_from(hash_combine(seed, 13));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
+            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
             let mut cfg = TunaConfig::paper_default(crash_penalty);
             cfg.outlier_threshold = threshold;
             let optimizer = SmacOptimizer::multi_fidelity(
@@ -73,7 +73,7 @@ fn main() {
                 exp.deploy_vms,
                 exp.deploy_repeats,
                 crash_penalty,
-                &mut rng,
+                &rng,
             );
             means.push(deployment.mean);
             stds.push(deployment.std);

@@ -50,7 +50,7 @@ fn main() {
                 },
             );
             let mut best_oracle = f64::NEG_INFINITY;
-            for it in 0..iters {
+            for cell in curves[li].iter_mut().take(iters) {
                 let s = opt.ask(&mut rng);
                 let outcome = pg.run(&s.config, &workload, cluster.machine_mut(0), &mut rng);
                 let noisy = outcome.value * (1.0 + sigma * rng.next_gaussian()).max(0.05);
@@ -59,9 +59,9 @@ fn main() {
                 if let Some((cfg, _)) = opt.best() {
                     let oracle = pg.noiseless_rel(&cfg, &workload, memory_mb);
                     best_oracle = best_oracle.max(oracle);
-                    curves[li][it].push(oracle);
+                    cell.push(oracle);
                 } else {
-                    curves[li][it].push(0.0);
+                    cell.push(0.0);
                 }
             }
         }

@@ -153,7 +153,7 @@ fn main() {
     // Bonus: a stable deployment must exist too (the paper's 'stable'
     // panel of Figure 5b) — deploy the default config.
     let base = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), args.seed);
-    let mut drng = Rng::seed_from(hash_combine(args.seed, 3));
+    let drng = Rng::seed_from(hash_combine(args.seed, 3));
     let stable = evaluate_deployment(
         &pg,
         &workload,
@@ -163,7 +163,7 @@ fn main() {
         10,
         3,
         1.0,
-        &mut drng,
+        &drng,
     );
     println!(
         "default-config deployment relative range: {:.1}% (stable reference)",

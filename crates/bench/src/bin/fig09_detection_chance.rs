@@ -101,7 +101,7 @@ fn main() {
         "all detected in a run".to_string(),
     ]];
     let mut chance_at = vec![0.0; max_nodes + 1];
-    for n in 1..=max_nodes {
+    for (n, slot) in chance_at.iter_mut().enumerate().skip(1) {
         let mut detected = 0usize;
         let mut total = 0usize;
         for profile in &unstable_profiles {
@@ -115,7 +115,7 @@ fn main() {
             }
         }
         let p = detected as f64 / total as f64;
-        chance_at[n] = p;
+        *slot = p;
         rows.push(vec![
             format!("{n}"),
             format!("{:.1}%", p * 100.0),

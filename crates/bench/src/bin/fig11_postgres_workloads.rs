@@ -23,7 +23,9 @@ fn main() {
     let rounds = args.rounds_or(30, 96, 96);
     let methods = [Method::Tuna, Method::Traditional, Method::DefaultConfig];
 
-    let paper: &[(&str, [(&str, f64, f64); 3])] = &[
+    // (workload, [(method, paper mean, paper std); 3]).
+    type PaperRow = (&'static str, [(&'static str, f64, f64); 3]);
+    let paper: &[PaperRow] = &[
         (
             "tpcc",
             [

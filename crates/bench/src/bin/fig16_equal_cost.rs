@@ -36,7 +36,7 @@ fn main() {
         let sut = exp.make_sut();
         let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
         let mut rng = Rng::seed_from(hash_combine(seed, 2));
-        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
+        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
         let optimizer = SmacOptimizer::multi_fidelity(
             sut.space().clone(),
             exp.objective(),
@@ -61,7 +61,7 @@ fn main() {
             exp.deploy_vms,
             exp.deploy_repeats,
             crash_penalty,
-            &mut rng,
+            &rng,
         );
         tuna_runs.push(tuna_core::experiment::RunSummary {
             method: "TUNA (500 samples)",

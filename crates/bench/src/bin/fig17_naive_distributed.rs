@@ -62,7 +62,7 @@ fn main() {
         let sut = exp.make_sut();
         let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
         let mut rng = Rng::seed_from(hash_combine(seed, 3));
-        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &mut rng);
+        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
 
         let optimizer = SmacOptimizer::multi_fidelity(
             sut.space().clone(),

@@ -27,7 +27,7 @@ fn run_variant(
     let sut = exp.make_sut();
     let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
     let mut rng = Rng::seed_from(hash_combine(seed, 5));
-    let crash_penalty = default_worst_case(sut.as_ref(), &exp.workload, &base, &mut rng);
+    let crash_penalty = default_worst_case(sut.as_ref(), &exp.workload, &base, &rng);
     let cfg = if with_model {
         TunaConfig::paper_default(crash_penalty)
     } else {

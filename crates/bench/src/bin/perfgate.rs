@@ -1,0 +1,189 @@
+//! `perfgate` — the CI perf-regression gate.
+//!
+//! Runs the curated deterministic benchmark suite (see
+//! [`tuna_bench::perf`]), emits a machine-readable `BENCH.json`, and
+//! compares it against the committed `bench/baseline.json`.
+//!
+//! ```text
+//! perfgate run              [--out BENCH.json] [--quick] [--handicap F]
+//! perfgate check            [--baseline bench/baseline.json] [--current PATH]
+//!                           [--out BENCH.json] [--tolerance 0.20] [--handicap F] [--quick]
+//! perfgate update-baseline  [--baseline bench/baseline.json] [--quick]
+//! ```
+//!
+//! `check` exits non-zero when the gate fails (>tolerance slowdown on
+//! calibration-normalized throughput, any checksum drift, or a missing
+//! scenario) and prints a markdown delta table on stdout — CI appends it
+//! to the job summary. `--handicap F` multiplies measured wall time by
+//! `F` on every non-calibration scenario, demonstrating the gate's
+//! failure mode without editing code. The tolerance can also come from
+//! the `TUNA_PERFGATE_TOLERANCE` environment variable; the flag wins.
+
+use std::process::ExitCode;
+
+use tuna_bench::perf::{self, BenchDoc, DEFAULT_TOLERANCE};
+
+struct Args {
+    command: String,
+    out: String,
+    baseline: String,
+    current: Option<String>,
+    tolerance: f64,
+    handicap: f64,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfgate <run|check|update-baseline> \
+         [--out PATH] [--baseline PATH] [--current PATH] \
+         [--tolerance T] [--handicap F] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        usage();
+    };
+    if !matches!(command.as_str(), "run" | "check" | "update-baseline") {
+        usage();
+    }
+    let env_tolerance = std::env::var("TUNA_PERFGATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let mut args = Args {
+        command,
+        out: "BENCH.json".to_string(),
+        baseline: "bench/baseline.json".to_string(),
+        current: None,
+        tolerance: env_tolerance,
+        handicap: 1.0,
+        quick: false,
+    };
+    let mut i = 1;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => args.out = value(&argv, &mut i),
+            "--baseline" => args.baseline = value(&argv, &mut i),
+            "--current" => args.current = Some(value(&argv, &mut i)),
+            "--tolerance" => {
+                args.tolerance = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--handicap" => {
+                args.handicap = value(&argv, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--quick" => args.quick = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if !(args.tolerance > 0.0 && args.tolerance < 1.0) {
+        eprintln!(
+            "perfgate: tolerance must be in (0, 1), got {}",
+            args.tolerance
+        );
+        std::process::exit(2);
+    }
+    if args.handicap < 1.0 {
+        eprintln!("perfgate: handicap must be >= 1, got {}", args.handicap);
+        std::process::exit(2);
+    }
+    args
+}
+
+fn load(path: &str) -> BenchDoc {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchDoc::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn write(path: &str, doc: &BenchDoc) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+}
+
+fn run_fresh(args: &Args) -> BenchDoc {
+    eprintln!(
+        "perfgate: running {} suite{}...",
+        if args.quick { "quick" } else { "full" },
+        if args.handicap > 1.0 {
+            format!(" with {}x handicap", args.handicap)
+        } else {
+            String::new()
+        }
+    );
+    let doc = perf::run_suite(args.quick, args.handicap);
+    for s in &doc.scenarios {
+        eprintln!(
+            "perfgate:   {:<34} {:>12.0} items/s  [{}]",
+            s.scenario, s.throughput, s.checksum
+        );
+    }
+    doc
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "run" => {
+            let doc = run_fresh(&args);
+            write(&args.out, &doc);
+            eprintln!("perfgate: wrote {}", args.out);
+            ExitCode::SUCCESS
+        }
+        "update-baseline" => {
+            let doc = run_fresh(&args);
+            write(&args.baseline, &doc);
+            eprintln!("perfgate: wrote {}", args.baseline);
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let baseline = load(&args.baseline);
+            let current = match &args.current {
+                Some(path) => load(path),
+                None => {
+                    let doc = run_fresh(&args);
+                    write(&args.out, &doc);
+                    eprintln!("perfgate: wrote {}", args.out);
+                    doc
+                }
+            };
+            let outcome = perf::compare(&baseline, &current, args.tolerance).unwrap_or_else(|e| {
+                eprintln!("perfgate: comparison impossible: {e}");
+                std::process::exit(2);
+            });
+            println!("{}", perf::markdown_table(&outcome));
+            if outcome.pass {
+                eprintln!("perfgate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "perfgate: FAIL — see the delta table; checksum drift means the \
+                     algorithm changed (regenerate bench/baseline.json deliberately \
+                     via `perfgate update-baseline`), SLOW means a real slowdown"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -18,6 +18,8 @@
 
 use tuna_stats::summary;
 
+pub mod perf;
+
 /// Parsed command-line options for regenerator binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessArgs {
@@ -127,7 +129,7 @@ pub fn strip_plot(values: &[f64], lo: f64, hi: f64, width: usize) -> String {
             if c == 0 {
                 '.'
             } else {
-                let level = (c * 4 + max - 1) / max; // 1..=4
+                let level = (c * 4).div_ceil(max); // 1..=4
                 [' ', '-', '+', '*', '#'][level.min(4)]
             }
         })
@@ -141,6 +143,29 @@ pub fn mean_pm_std(values: &[f64]) -> String {
         summary::mean(values),
         summary::std_dev(values)
     )
+}
+
+/// Runs `n_runs` tuning runs per method and prints the §6-style
+/// method-comparison table with the paper's reference values.
+///
+/// Returns `(method name, summary)` pairs in the order given.
+pub fn compare_methods(
+    exp: &tuna_core::experiment::Experiment,
+    methods: &[tuna_core::experiment::Method],
+    n_runs: usize,
+    seed: u64,
+) -> Vec<(&'static str, tuna_core::report::MethodSummary)> {
+    use tuna_core::report::{method_comparison_table, summarize_method};
+    let mut out = Vec::new();
+    for &method in methods {
+        let runs = exp.run_many(method, n_runs, seed);
+        out.push((method.name(), summarize_method(&runs)));
+    }
+    let unit = exp.workload.metric.unit();
+    let entries: Vec<(&str, tuna_core::report::MethodSummary)> =
+        out.iter().map(|(n, s)| (*n, *s)).collect();
+    println!("{}", method_comparison_table(unit, &entries));
+    out
 }
 
 #[cfg(test)]
@@ -185,27 +210,4 @@ mod tests {
         assert_ne!(s.chars().last().unwrap(), '.');
         assert_eq!(s.chars().nth(5).unwrap(), '.');
     }
-}
-
-/// Runs `n_runs` tuning runs per method and prints the §6-style
-/// method-comparison table with the paper's reference values.
-///
-/// Returns `(method name, summary)` pairs in the order given.
-pub fn compare_methods(
-    exp: &tuna_core::experiment::Experiment,
-    methods: &[tuna_core::experiment::Method],
-    n_runs: usize,
-    seed: u64,
-) -> Vec<(&'static str, tuna_core::report::MethodSummary)> {
-    use tuna_core::report::{method_comparison_table, summarize_method};
-    let mut out = Vec::new();
-    for &method in methods {
-        let runs = exp.run_many(method, n_runs, seed);
-        out.push((method.name(), summarize_method(&runs)));
-    }
-    let unit = exp.workload.metric.unit();
-    let entries: Vec<(&str, tuna_core::report::MethodSummary)> =
-        out.iter().map(|(n, s)| (*n, *s)).collect();
-    println!("{}", method_comparison_table(unit, &entries));
-    out
 }

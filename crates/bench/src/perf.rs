@@ -1,0 +1,1402 @@
+//! The perf-gate subsystem: deterministic benchmark scenarios, the
+//! machine-readable `BENCH.json` document, and the CI regression gate.
+//!
+//! # Design
+//!
+//! Every scenario is a *deterministic* workload under fixed seeds: it
+//! folds every result it produces into an order-sensitive FNV-1a
+//! [`Checksum`], so a scenario has exactly one legal checksum per
+//! algorithm version. The harness re-runs each scenario several times
+//! and asserts the checksum never changes — nondeterminism is a bug the
+//! gate catches locally, before CI.
+//!
+//! The gate compares a fresh run against the committed
+//! `bench/baseline.json`:
+//!
+//! - **checksum drift** fails unconditionally — either the algorithm
+//!   changed (regenerate the baseline deliberately) or determinism broke;
+//! - **slowdown** is judged on *calibration-normalized* throughput: each
+//!   document carries a fixed arithmetic calibration scenario, and
+//!   scenario throughput is divided by the document's own calibration
+//!   throughput before comparing, which cancels most of the difference
+//!   between the machine that produced the baseline and the CI runner.
+//!   A normalized ratio below `1 - tolerance` (default
+//!   [`DEFAULT_TOLERANCE`]) fails the gate.
+//!
+//! `perfgate` (in `src/bin/`) is the CLI: `run` emits `BENCH.json`,
+//! `check` runs the gate, `update-baseline` regenerates the committed
+//! baseline.
+
+use std::time::Instant;
+
+use tuna_cloudsim::{Cluster, Machine, Region, VmSku};
+use tuna_core::aggregate::AggregationPolicy;
+use tuna_core::baselines::run_naive_distributed;
+use tuna_core::executor::ExecutionMode;
+use tuna_core::outlier::OutlierDetector;
+use tuna_core::pipeline::{TunaConfig, TunaPipeline, TuningResult};
+use tuna_optimizer::multifidelity::LadderParams;
+use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
+use tuna_optimizer::{Objective, Optimizer};
+use tuna_stats::ar1::Ar1;
+use tuna_stats::bootstrap::bootstrap_mean_ci;
+use tuna_stats::corr::{pearson, spearman_with, RankScratch};
+use tuna_stats::online::{P2Quantile, Welford};
+use tuna_stats::rng::Rng;
+use tuna_stats::summary;
+use tuna_sut::{nginx::Nginx, postgres::Postgres, redis::Redis, SystemUnderTest};
+use tuna_workloads::{TargetSystem, Workload};
+
+/// Name of the calibration scenario used as the cross-machine
+/// throughput normalizer.
+pub const CALIBRATION: &str = "calibration/splitmix";
+
+/// Default slowdown tolerance of the gate (fraction of normalized
+/// throughput; 0.20 fails on >20% slowdown).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// `BENCH.json` format version.
+pub const BENCH_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------------
+
+/// Order-sensitive FNV-1a/64 accumulator over the values a scenario
+/// produces. Floats are folded by their IEEE-754 bit pattern, so any
+/// numeric drift — however small — changes the checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum {
+    /// Creates an accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a `u64`.
+    pub fn push_u64(&mut self, x: u64) {
+        self.push_bytes(&x.to_le_bytes());
+    }
+
+    /// Folds a float by bit pattern.
+    pub fn push_f64(&mut self, x: f64) {
+        self.push_u64(x.to_bits());
+    }
+
+    /// The digest as a 16-char lowercase hex string.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BENCH.json document
+// ---------------------------------------------------------------------------
+
+/// One scenario measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name (stable identifier).
+    pub scenario: String,
+    /// Best-of-N wall clock of one scenario run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Work units one run processes (samples, epochs, rounds...).
+    pub items: u64,
+    /// `items / wall_seconds`.
+    pub throughput: f64,
+    /// Deterministic result digest ([`Checksum::hex`]).
+    pub checksum: String,
+}
+
+/// The `BENCH.json` document: every scenario of one suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Format version ([`BENCH_VERSION`]).
+    pub version: u64,
+    /// Whether the suite ran in quick mode. Quick and full runs have
+    /// different iteration counts and therefore different checksums;
+    /// [`compare`] refuses to mix them.
+    pub quick: bool,
+    /// Scenario measurements, in suite order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchDoc {
+    /// Looks up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.scenario == name)
+    }
+
+    /// Calibration throughput of this document, if present.
+    pub fn calibration_throughput(&self) -> Option<f64> {
+        self.get(CALIBRATION).map(|s| s.throughput)
+    }
+
+    /// Serializes to the canonical `BENCH.json` layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": {}, \"wall_ns\": {}, \"items\": {}, \
+                 \"throughput\": {:?}, \"checksum\": {}}}{}\n",
+                json::quote(&s.scenario),
+                s.wall_ns,
+                s.items,
+                s.throughput,
+                json::quote(&s.checksum),
+                if i + 1 == self.scenarios.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a document previously emitted by [`BenchDoc::to_json`]
+    /// (or hand-maintained in the same schema).
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let version = json::field(obj, "version")?
+            .as_f64()
+            .ok_or("version must be a number")? as u64;
+        let quick = match json::field(obj, "quick") {
+            Ok(v) => v.as_bool().ok_or("quick must be a boolean")?,
+            // Documents written before the field existed were full runs.
+            Err(_) => false,
+        };
+        let list = json::field(obj, "scenarios")?
+            .as_arr()
+            .ok_or("scenarios must be an array")?;
+        let mut scenarios = Vec::with_capacity(list.len());
+        for item in list {
+            let o = item.as_obj().ok_or("scenario entry must be an object")?;
+            scenarios.push(ScenarioResult {
+                scenario: json::field(o, "scenario")?
+                    .as_str()
+                    .ok_or("scenario must be a string")?
+                    .to_string(),
+                wall_ns: json::field(o, "wall_ns")?
+                    .as_f64()
+                    .ok_or("wall_ns must be a number")? as u64,
+                items: json::field(o, "items")?
+                    .as_f64()
+                    .ok_or("items must be a number")? as u64,
+                throughput: json::field(o, "throughput")?
+                    .as_f64()
+                    .ok_or("throughput must be a number")?,
+                checksum: json::field(o, "checksum")?
+                    .as_str()
+                    .ok_or("checksum must be a string")?
+                    .to_string(),
+            });
+        }
+        Ok(BenchDoc {
+            version,
+            quick,
+            scenarios,
+        })
+    }
+}
+
+/// Minimal JSON support for the fixed `BENCH.json` schema — the
+/// workspace builds offline, so there is no serde to lean on.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (integers included).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up an object field.
+    pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{name}'"))
+    }
+
+    /// Quotes a string with the escapes our schema can contain.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    let val = parse_value(b, pos)?;
+                    fields.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).ok_or("bad \\u codepoint")?);
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8 passes through unchanged. The
+                    // bounds-checked get keeps a truncated document (a
+                    // lead byte cut off at end-of-input) on the Err
+                    // path instead of panicking.
+                    let ch_len = utf8_len(c);
+                    let s = b
+                        .get(*pos..*pos + ch_len)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or("invalid utf8")?;
+                    out.push_str(s);
+                    *pos += ch_len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario harness
+// ---------------------------------------------------------------------------
+
+/// A deterministic benchmark scenario.
+pub struct ScenarioSpec {
+    /// Stable name (`area/workload`).
+    pub name: &'static str,
+    /// Work units one run processes.
+    pub items: u64,
+    /// The workload; must fold every result into the checksum.
+    pub run: Box<dyn Fn(&mut Checksum)>,
+}
+
+/// Runs one scenario: a warmup pass to settle caches and pin the
+/// checksum, then at least `timed_rounds` measured passes taking the
+/// best wall clock. Short scenarios get extra passes (up to 8, until
+/// ~60ms of cumulative measurement) so scheduler noise cannot dominate
+/// a single quick pass.
+///
+/// # Panics
+///
+/// Panics if two passes disagree on the checksum — scenarios must be
+/// deterministic.
+pub fn run_scenario(spec: &ScenarioSpec, timed_rounds: u32) -> ScenarioResult {
+    const MEASURE_BUDGET_NS: u64 = 60_000_000;
+    const MAX_ROUNDS: u32 = 8;
+
+    let mut warm = Checksum::new();
+    (spec.run)(&mut warm);
+    let expected = warm.hex();
+
+    let mut best_ns = u64::MAX;
+    let mut total_ns = 0u64;
+    let mut rounds = 0u32;
+    loop {
+        let mut c = Checksum::new();
+        let start = Instant::now();
+        (spec.run)(&mut c);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert_eq!(
+            c.hex(),
+            expected,
+            "scenario '{}' is nondeterministic across passes",
+            spec.name
+        );
+        best_ns = best_ns.min(elapsed.max(1));
+        total_ns += elapsed;
+        rounds += 1;
+        if rounds >= timed_rounds.max(1) && (total_ns >= MEASURE_BUDGET_NS || rounds >= MAX_ROUNDS)
+        {
+            break;
+        }
+    }
+    ScenarioResult {
+        scenario: spec.name.to_string(),
+        wall_ns: best_ns,
+        items: spec.items,
+        throughput: spec.items as f64 / (best_ns as f64 / 1e9),
+        checksum: expected,
+    }
+}
+
+/// Runs the whole curated suite.
+///
+/// `quick` scales every scenario down (~10x) for tests and smoke runs —
+/// quick and full runs have different checksums and must not be
+/// compared against each other. `handicap > 1` multiplies measured wall
+/// time (dividing throughput) on every non-calibration scenario; it
+/// exists to demonstrate the gate failing on an injected slowdown
+/// without editing code.
+pub fn run_suite(quick: bool, handicap: f64) -> BenchDoc {
+    assert!(handicap >= 1.0, "handicap must be >= 1");
+    let mut scenarios = Vec::new();
+    for spec in suite(quick) {
+        let mut r = run_scenario(&spec, 3);
+        if spec.name != CALIBRATION && handicap > 1.0 {
+            r.wall_ns = ((r.wall_ns as f64) * handicap) as u64;
+            r.throughput /= handicap;
+        }
+        scenarios.push(r);
+    }
+    BenchDoc {
+        version: BENCH_VERSION,
+        quick,
+        scenarios,
+    }
+}
+
+fn sut_for(target: TargetSystem) -> Box<dyn SystemUnderTest> {
+    match target {
+        TargetSystem::Postgres => Box::new(Postgres::new()),
+        TargetSystem::Redis => Box::new(Redis::new()),
+        TargetSystem::Nginx => Box::new(Nginx::new()),
+    }
+}
+
+fn objective_for(workload: &Workload) -> Objective {
+    if workload.metric.higher_is_better() {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    }
+}
+
+fn smac_for(sut: &dyn SystemUnderTest, objective: Objective) -> Box<dyn Optimizer> {
+    Box::new(SmacOptimizer::multi_fidelity(
+        sut.space().clone(),
+        objective,
+        SmacParams {
+            n_init: 5,
+            n_random_candidates: 40,
+            ..SmacParams::default()
+        },
+        LadderParams::paper_default(),
+    ))
+}
+
+fn checksum_result(c: &mut Checksum, result: &TuningResult) {
+    c.push_f64(result.best_value);
+    c.push_u64(result.total_samples as u64);
+    c.push_u64(result.n_configs as u64);
+    c.push_u64(result.n_unstable_configs as u64);
+    for rec in &result.trace {
+        c.push_f64(rec.reported);
+    }
+}
+
+/// One full-pipeline tuning run: `rounds` rounds of the TUNA sampling
+/// pipeline on a 10-worker cluster under `mode`.
+fn run_pipeline(
+    workload: &Workload,
+    rounds: usize,
+    seed: u64,
+    mode: ExecutionMode,
+) -> TuningResult {
+    let sut = sut_for(workload.target);
+    let objective = objective_for(workload);
+    let cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), seed);
+    let optimizer = smac_for(sut.as_ref(), objective);
+    // Fixed, orientation-appropriate crash penalty: the scenario must be
+    // deterministic and cheap, not paper-faithful.
+    let crash_penalty = match objective {
+        Objective::Maximize => 1.0,
+        Objective::Minimize => 10_000.0,
+    };
+    let mut cfg = TunaConfig::paper_default(crash_penalty);
+    cfg.mode = mode;
+    let mut pipeline = TunaPipeline::new(cfg, sut.as_ref(), workload, optimizer, cluster);
+    let mut rng = Rng::seed_from(seed ^ 0x9E37);
+    pipeline.run_rounds(rounds, &mut rng);
+    pipeline.finish()
+}
+
+/// The curated deterministic scenario suite.
+///
+/// Scenario names are contract: renaming one orphans its baseline
+/// entry, so treat names as append-only.
+pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
+    let k = if quick { 1 } else { 10 };
+    let mut v: Vec<ScenarioSpec> = Vec::new();
+
+    // -- calibration -------------------------------------------------------
+    // Fixed integer mixing; its throughput normalizes every other
+    // scenario's when comparing documents from different machines.
+    {
+        let iters: u64 = 400_000 * k as u64;
+        v.push(ScenarioSpec {
+            name: CALIBRATION,
+            items: iters,
+            run: Box::new(move |c| {
+                let mut state = 0x2545_F491_4F6C_DD1Du64;
+                for _ in 0..iters {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    state ^= z >> 31;
+                }
+                c.push_u64(state);
+            }),
+        });
+    }
+
+    // Shared 10k AR(1) window generator for the stats micro-kernels —
+    // the workload the pipeline actually aggregates (temporally
+    // correlated cloud noise around a nominal level).
+    fn ar1_window(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng::seed_from(seed);
+        let mut ar = Ar1::new(0.9, 0.1, &mut rng).expect("valid AR(1)");
+        (0..n).map(|_| 1.0 + ar.step(&mut rng)).collect()
+    }
+
+    // -- stats micro-kernels ----------------------------------------------
+    {
+        let reps = 20 * k;
+        v.push(ScenarioSpec {
+            name: "stats/relative_range_cov_10k",
+            items: (reps * 10_000) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(10_000, 101);
+                for _ in 0..reps {
+                    c.push_f64(summary::relative_range(&xs));
+                    c.push_f64(summary::coefficient_of_variation(&xs));
+                }
+            }),
+        });
+    }
+    {
+        let reps = 10 * k;
+        v.push(ScenarioSpec {
+            name: "stats/select_quantile_10k",
+            items: (reps * 10_000) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(10_000, 102);
+                let mut scratch = Vec::new();
+                for _ in 0..reps {
+                    c.push_f64(summary::quantile_with(&xs, 0.5, &mut scratch));
+                    c.push_f64(summary::quantile_with(&xs, 0.95, &mut scratch));
+                }
+            }),
+        });
+    }
+    {
+        let reps = 10 * k;
+        v.push(ScenarioSpec {
+            name: "stats/select_median_mad_10k",
+            items: (reps * 10_000) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(10_000, 103);
+                let mut scratch = Vec::new();
+                for _ in 0..reps {
+                    c.push_f64(summary::median_with(&xs, &mut scratch));
+                    c.push_f64(summary::mad_with(&xs, &mut scratch));
+                }
+            }),
+        });
+    }
+    {
+        // The retained naive oracle on the same window: BENCH.json keeps
+        // the naive-vs-streaming delta visible run over run.
+        let reps = 10 * k;
+        v.push(ScenarioSpec {
+            name: "stats/naive_median_mad_10k",
+            items: (reps * 10_000) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(10_000, 103);
+                for _ in 0..reps {
+                    c.push_f64(summary::naive::median(&xs));
+                    c.push_f64(summary::naive::mad(&xs));
+                }
+            }),
+        });
+    }
+    {
+        let n = 100_000 * k;
+        v.push(ScenarioSpec {
+            name: "stats/p2_quantile_stream",
+            items: n as u64,
+            run: Box::new(move |c| {
+                let mut rng = Rng::seed_from(104);
+                let mut ar = Ar1::new(0.9, 0.1, &mut rng).expect("valid AR(1)");
+                let mut p50 = P2Quantile::new(0.5);
+                let mut p95 = P2Quantile::new(0.95);
+                let mut w = Welford::new();
+                for _ in 0..n {
+                    let x = 1.0 + ar.step(&mut rng);
+                    p50.push(x);
+                    p95.push(x);
+                    w.push(x);
+                }
+                c.push_f64(p50.value());
+                c.push_f64(p95.value());
+                c.push_f64(w.mean());
+                c.push_f64(w.variance());
+            }),
+        });
+    }
+    {
+        let reps = 3 * k;
+        v.push(ScenarioSpec {
+            name: "stats/bootstrap_200x500",
+            items: (reps * 500 * 200) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(200, 105);
+                for rep in 0..reps {
+                    let ci =
+                        bootstrap_mean_ci(&xs, 0.99, 500, &mut Rng::seed_from(900 + rep as u64));
+                    c.push_f64(ci.lo);
+                    c.push_f64(ci.point);
+                    c.push_f64(ci.hi);
+                }
+            }),
+        });
+    }
+    {
+        let reps = 2 * k;
+        v.push(ScenarioSpec {
+            name: "stats/pearson_spearman_5k",
+            items: (reps * 5_000) as u64,
+            run: Box::new(move |c| {
+                let xs = ar1_window(5_000, 106);
+                let mut rng = Rng::seed_from(107);
+                let ys: Vec<f64> = xs
+                    .iter()
+                    .map(|x| 0.6 * x + 0.4 * rng.next_gaussian())
+                    .collect();
+                let mut scratch = RankScratch::default();
+                for _ in 0..reps {
+                    c.push_f64(pearson(&xs, &ys));
+                    c.push_f64(spearman_with(&xs, &ys, &mut scratch));
+                }
+            }),
+        });
+    }
+
+    // -- core aggregation hot path ----------------------------------------
+    {
+        let windows = 6_000 * k;
+        v.push(ScenarioSpec {
+            name: "core/outlier_aggregate_windows",
+            items: (windows * 10) as u64,
+            run: Box::new(move |c| {
+                let detector = OutlierDetector::default();
+                let mut rng = Rng::seed_from(108);
+                let mut window = [0.0f64; 10];
+                let mut scratch = Vec::new();
+                for _ in 0..windows {
+                    for slot in window.iter_mut() {
+                        *slot = 1000.0 * (1.0 + 0.08 * rng.next_gaussian());
+                    }
+                    let stab = detector.classify(&window);
+                    let min = AggregationPolicy::WorstCase.aggregate_with(
+                        &window,
+                        Objective::Maximize,
+                        &mut scratch,
+                    );
+                    let med = AggregationPolicy::Median.aggregate_with(
+                        &window,
+                        Objective::Maximize,
+                        &mut scratch,
+                    );
+                    c.push_f64(stab.relative_range());
+                    c.push_f64(min);
+                    c.push_f64(med);
+                }
+            }),
+        });
+    }
+
+    // -- cloudsim measurement generation ----------------------------------
+    {
+        let epochs = 5_000 * k;
+        v.push(ScenarioSpec {
+            name: "cloudsim/machine_observe",
+            items: epochs as u64,
+            run: Box::new(move |c| {
+                let root = Rng::seed_from(109);
+                let mut m = Machine::provision(0, &VmSku::d8s_v5(), &Region::westus2(), &root);
+                let demand = tuna_cloudsim::components::ComponentVec::new(0.6, 0.7, 0.4, 0.3, 0.2);
+                let mut acc = Welford::new();
+                for _ in 0..epochs {
+                    let snap = m.observe(&demand);
+                    acc.push(snap.speeds.cpu + snap.speeds.disk + snap.speeds.cache);
+                }
+                c.push_f64(acc.mean());
+                c.push_f64(acc.variance());
+                c.push_u64(acc.count());
+            }),
+        });
+    }
+    {
+        let epochs = 2_000 * k;
+        v.push(ScenarioSpec {
+            name: "metrics/generate",
+            items: epochs as u64,
+            run: Box::new(move |c| {
+                let root = Rng::seed_from(110);
+                let mut m = Machine::provision(1, &VmSku::d8s_v5(), &Region::westus2(), &root);
+                let demand = tuna_cloudsim::components::ComponentVec::new(0.5, 0.8, 0.4, 0.3, 0.2);
+                let mut rng = Rng::seed_from(111);
+                let mut acc = Welford::new();
+                for _ in 0..epochs {
+                    let snap = m.observe(&demand);
+                    let metrics = tuna_metrics::generate(&snap, &demand, 1.0, &mut rng);
+                    for &x in metrics.values() {
+                        acc.push(x);
+                    }
+                }
+                c.push_f64(acc.mean());
+                c.push_u64(acc.count());
+            }),
+        });
+    }
+    {
+        // 2 regions x 2 SKUs x 7 benches x (3 long VMs x 24 weeks x 6
+        // sessions + 24 weeks x 20 short VMs) = 25_536 samples — big
+        // enough to time stably, small enough to stay under ~10ms.
+        let weeks = if quick { 8 } else { 24 };
+        let short_per_week = if quick { 10 } else { 20 };
+        let items = (2 * 2 * 7 * (3 * weeks * 6 + weeks * short_per_week)) as u64;
+        v.push(ScenarioSpec {
+            name: "cloudsim/study_quick",
+            items,
+            run: Box::new(move |c| {
+                let cfg = tuna_cloudsim::study::StudyConfig {
+                    weeks,
+                    short_vms_per_week: short_per_week,
+                    long_sessions_per_week: 6,
+                    keep_samples: false,
+                    ..tuna_cloudsim::study::StudyConfig::scaled_default()
+                };
+                let report = tuna_cloudsim::study::run_study(&cfg);
+                c.push_u64(report.total_samples);
+                c.push_u64(report.total_instances);
+                for s in &report.series {
+                    c.push_f64(s.overall.mean());
+                    c.push_u64(s.overall.count());
+                }
+            }),
+        });
+    }
+
+    // -- one pipeline run per SuT ------------------------------------------
+    // Round counts are tuned so each SuT's scenario runs tens of
+    // milliseconds: the redis/nginx models are much cheaper per round
+    // than postgres and need more rounds to time stably.
+    for (name, workload, rounds) in [
+        (
+            "pipeline/postgres_tpcc",
+            tuna_workloads::tpcc(),
+            if quick { 8 } else { 48 },
+        ),
+        (
+            "pipeline/redis_ycsb_c",
+            tuna_workloads::ycsb_c(),
+            if quick { 8 } else { 80 },
+        ),
+        (
+            "pipeline/nginx_wikipedia",
+            tuna_workloads::wikipedia(),
+            if quick { 8 } else { 80 },
+        ),
+    ] {
+        v.push(ScenarioSpec {
+            name,
+            items: rounds as u64,
+            run: Box::new(move |c| {
+                let result = run_pipeline(&workload, rounds, 0xBEEF, ExecutionMode::Serial);
+                checksum_result(c, &result);
+            }),
+        });
+    }
+
+    // -- naive-distributed baseline ----------------------------------------
+    {
+        let budget = if quick { 40 } else { 800 };
+        v.push(ScenarioSpec {
+            name: "baselines/naive_distributed",
+            items: budget as u64,
+            run: Box::new(move |c| {
+                let workload = tuna_workloads::tpcc();
+                let sut = sut_for(workload.target);
+                let objective = objective_for(&workload);
+                let optimizer = smac_for(sut.as_ref(), objective);
+                let cluster = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 0xD157);
+                let mut rng = Rng::seed_from(0xD158);
+                let result = run_naive_distributed(
+                    ExecutionMode::Serial,
+                    sut.as_ref(),
+                    &workload,
+                    optimizer,
+                    cluster,
+                    budget,
+                    1.0,
+                    &mut rng,
+                );
+                checksum_result(c, &result);
+            }),
+        });
+    }
+
+    // -- serial vs parallel executor ---------------------------------------
+    // Runs the same tuning rounds in both modes, asserts bit-identical
+    // results (the executor's core contract), and reports the combined
+    // wall time.
+    {
+        let rounds = if quick { 6 } else { 30 };
+        v.push(ScenarioSpec {
+            name: "executor/serial_vs_parallel4",
+            items: (rounds * 2) as u64,
+            run: Box::new(move |c| {
+                let workload = tuna_workloads::tpcc();
+                let serial = run_pipeline(&workload, rounds, 0xE4EC, ExecutionMode::Serial);
+                let parallel = run_pipeline(
+                    &workload,
+                    rounds,
+                    0xE4EC,
+                    ExecutionMode::Parallel { workers: 4 },
+                );
+                assert_eq!(
+                    serial, parallel,
+                    "serial and 4-worker parallel execution diverged"
+                );
+                checksum_result(c, &serial);
+            }),
+        });
+    }
+
+    v
+}
+
+// ---------------------------------------------------------------------------
+// The regression gate
+// ---------------------------------------------------------------------------
+
+/// Per-scenario gate verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance, checksum matches.
+    Ok,
+    /// Normalized throughput fell below `1 - tolerance`.
+    Slow,
+    /// Checksums differ — algorithm change or lost determinism.
+    ChecksumDrift,
+    /// Scenario exists in the baseline but not in the current run.
+    Missing,
+    /// Scenario exists only in the current run (baseline needs
+    /// regenerating); informational, does not fail the gate.
+    New,
+    /// The calibration scenario itself; informational.
+    Calibration,
+}
+
+impl GateStatus {
+    /// Whether this verdict fails the gate.
+    pub fn fails(&self) -> bool {
+        matches!(
+            self,
+            GateStatus::Slow | GateStatus::ChecksumDrift | GateStatus::Missing
+        )
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GateStatus::Ok => "ok",
+            GateStatus::Slow => "SLOW",
+            GateStatus::ChecksumDrift => "CHECKSUM DRIFT",
+            GateStatus::Missing => "MISSING",
+            GateStatus::New => "new",
+            GateStatus::Calibration => "calibration",
+        }
+    }
+}
+
+/// One row of the gate's delta table.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Baseline raw throughput (items/s), if present.
+    pub baseline_throughput: Option<f64>,
+    /// Current raw throughput (items/s), if present.
+    pub current_throughput: Option<f64>,
+    /// Calibration-normalized throughput ratio (current / baseline);
+    /// `> 1` is faster, `< 1` slower.
+    pub normalized_ratio: Option<f64>,
+    /// Verdict.
+    pub status: GateStatus,
+}
+
+/// Gate outcome: the per-scenario delta table and the overall verdict.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Per-scenario rows, baseline order then new scenarios.
+    pub rows: Vec<DeltaRow>,
+    /// Slowdown tolerance the comparison used.
+    pub tolerance: f64,
+    /// Whether the gate passes.
+    pub pass: bool,
+}
+
+/// Compares a current run against the committed baseline.
+///
+/// Fails on any checksum drift, any missing scenario, or any scenario
+/// whose calibration-normalized throughput dropped more than
+/// `tolerance`.
+///
+/// # Errors
+///
+/// Returns an error when either document lacks the calibration
+/// scenario, the documents mix quick and full mode (their iteration
+/// counts and checksums are incompatible), or a document declares an
+/// unknown format version.
+pub fn compare(base: &BenchDoc, cur: &BenchDoc, tolerance: f64) -> Result<GateOutcome, String> {
+    if base.version != BENCH_VERSION || cur.version != BENCH_VERSION {
+        return Err(format!(
+            "version mismatch: baseline v{}, current v{}, gate speaks v{BENCH_VERSION}",
+            base.version, cur.version
+        ));
+    }
+    if base.quick != cur.quick {
+        let mode = |q: bool| if q { "quick" } else { "full" };
+        return Err(format!(
+            "mode mismatch: baseline is a {} run, current is a {} run — quick and \
+             full suites have different checksums and must not be compared",
+            mode(base.quick),
+            mode(cur.quick)
+        ));
+    }
+    let base_calib = base
+        .calibration_throughput()
+        .ok_or("baseline lacks the calibration scenario")?;
+    let cur_calib = cur
+        .calibration_throughput()
+        .ok_or("current run lacks the calibration scenario")?;
+
+    let mut rows = Vec::new();
+    let mut pass = true;
+    for b in &base.scenarios {
+        let row = if b.scenario == CALIBRATION {
+            // The calibration scenario is exempt from the slowdown
+            // check (it *defines* the normalizer) but not from the
+            // checksum check: a drifted calibration workload would
+            // silently skew every normalized ratio.
+            let cur_calib_scenario = cur.get(CALIBRATION);
+            let status = match cur_calib_scenario {
+                Some(c) if c.checksum != b.checksum => GateStatus::ChecksumDrift,
+                _ => GateStatus::Calibration,
+            };
+            DeltaRow {
+                scenario: b.scenario.clone(),
+                baseline_throughput: Some(b.throughput),
+                current_throughput: cur_calib_scenario.map(|s| s.throughput),
+                normalized_ratio: None,
+                status,
+            }
+        } else {
+            match cur.get(&b.scenario) {
+                None => DeltaRow {
+                    scenario: b.scenario.clone(),
+                    baseline_throughput: Some(b.throughput),
+                    current_throughput: None,
+                    normalized_ratio: None,
+                    status: GateStatus::Missing,
+                },
+                Some(c) => {
+                    let ratio = (c.throughput / cur_calib) / (b.throughput / base_calib);
+                    let status = if c.checksum != b.checksum {
+                        GateStatus::ChecksumDrift
+                    } else if ratio < 1.0 - tolerance {
+                        GateStatus::Slow
+                    } else {
+                        GateStatus::Ok
+                    };
+                    DeltaRow {
+                        scenario: b.scenario.clone(),
+                        baseline_throughput: Some(b.throughput),
+                        current_throughput: Some(c.throughput),
+                        normalized_ratio: Some(ratio),
+                        status,
+                    }
+                }
+            }
+        };
+        pass &= !row.status.fails();
+        rows.push(row);
+    }
+    for c in &cur.scenarios {
+        if base.get(&c.scenario).is_none() {
+            rows.push(DeltaRow {
+                scenario: c.scenario.clone(),
+                baseline_throughput: None,
+                current_throughput: Some(c.throughput),
+                normalized_ratio: None,
+                status: GateStatus::New,
+            });
+        }
+    }
+    Ok(GateOutcome {
+        rows,
+        tolerance,
+        pass,
+    })
+}
+
+fn fmt_throughput(t: Option<f64>) -> String {
+    match t {
+        None => "—".to_string(),
+        Some(t) if t >= 1e6 => format!("{:.2}M/s", t / 1e6),
+        Some(t) if t >= 1e3 => format!("{:.1}k/s", t / 1e3),
+        Some(t) => format!("{t:.1}/s"),
+    }
+}
+
+/// Renders the gate outcome as a GitHub-flavored markdown table (the
+/// CI job appends this to the step summary).
+pub fn markdown_table(outcome: &GateOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### Perf gate: {} (tolerance {:.0}% on calibration-normalized throughput)\n\n",
+        if outcome.pass { "PASS" } else { "FAIL" },
+        outcome.tolerance * 100.0
+    ));
+    out.push_str("| scenario | baseline | current | normalized Δ | status |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for row in &outcome.rows {
+        let delta = match row.normalized_ratio {
+            None => "—".to_string(),
+            Some(r) => format!("{:+.1}%", (r - 1.0) * 100.0),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            row.scenario,
+            fmt_throughput(row.baseline_throughput),
+            fmt_throughput(row.current_throughput),
+            delta,
+            row.status.label()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64, &str)]) -> BenchDoc {
+        BenchDoc {
+            version: BENCH_VERSION,
+            quick: false,
+            scenarios: entries
+                .iter()
+                .map(|(name, thr, sum)| ScenarioResult {
+                    scenario: name.to_string(),
+                    wall_ns: 1_000_000,
+                    items: 1_000,
+                    throughput: *thr,
+                    checksum: sum.to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let d = doc(&[
+            (CALIBRATION, 1234.5, "aa"),
+            ("stats/x", 99.25, "bb"),
+            ("pipeline/y", 1.5e9, "cc"),
+        ]);
+        let parsed = BenchDoc::parse(&d.to_json()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchDoc::parse("not json").is_err());
+        assert!(BenchDoc::parse("{}").is_err());
+        assert!(BenchDoc::parse("{\"version\": 1}").is_err());
+        // A document cut off mid-string (multibyte char at the very
+        // end) must error, not panic.
+        assert!(BenchDoc::parse("{\"version\": 1, \"x\": \"\u{00c3}").is_err());
+        assert!(json::parse("\"\u{00e9}\"").is_ok());
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let d = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 50.0, "bb")]);
+        let out = compare(&d, &d, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.pass);
+        assert!(out.rows.iter().all(|r| !r.status.fails()), "{:?}", out.rows);
+    }
+
+    #[test]
+    fn injected_25pct_slowdown_fails_gate() {
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 100.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 75.0, "bb")]);
+        let out = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass);
+        assert_eq!(out.rows[1].status, GateStatus::Slow);
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 100.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 85.0, "bb")]);
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).unwrap().pass);
+    }
+
+    #[test]
+    fn calibration_normalization_cancels_machine_speed() {
+        // Same code on a machine 3x slower across the board: every raw
+        // throughput drops 3x, including calibration — gate passes.
+        let base = doc(&[(CALIBRATION, 300.0, "aa"), ("s/a", 90.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 30.0, "bb")]);
+        let out = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.pass);
+        let r = out.rows[1].normalized_ratio.unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "ratio {r}");
+    }
+
+    #[test]
+    fn checksum_drift_fails_even_when_faster() {
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 50.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 500.0, "DRIFTED")]);
+        let out = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass);
+        assert_eq!(out.rows[1].status, GateStatus::ChecksumDrift);
+    }
+
+    #[test]
+    fn missing_scenario_fails_and_new_scenario_informs() {
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/gone", 50.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/fresh", 50.0, "cc")]);
+        let out = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass);
+        assert_eq!(out.rows[1].status, GateStatus::Missing);
+        let fresh = out.rows.iter().find(|r| r.scenario == "s/fresh").unwrap();
+        assert_eq!(fresh.status, GateStatus::New);
+        assert!(!fresh.status.fails());
+    }
+
+    #[test]
+    fn calibration_checksum_drift_fails_gate() {
+        // A changed calibration workload would silently skew every
+        // normalized ratio, so its checksum is still gated even though
+        // its throughput is not.
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 50.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "DRIFTED"), ("s/a", 50.0, "bb")]);
+        let out = compare(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass);
+        assert_eq!(out.rows[0].status, GateStatus::ChecksumDrift);
+    }
+
+    #[test]
+    fn quick_vs_full_comparison_is_an_error() {
+        let base = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 50.0, "bb")]);
+        let mut quick = base.clone();
+        quick.quick = true;
+        let err = compare(&base, &quick, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("mode mismatch"), "{err}");
+        assert!(compare(&quick, &base, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn quick_flag_roundtrips_through_json() {
+        let mut d = doc(&[(CALIBRATION, 100.0, "aa")]);
+        d.quick = true;
+        assert_eq!(BenchDoc::parse(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
+    fn missing_calibration_is_an_error() {
+        let base = doc(&[("s/a", 50.0, "bb")]);
+        let cur = doc(&[(CALIBRATION, 100.0, "aa"), ("s/a", 50.0, "bb")]);
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_err());
+        assert!(compare(&cur, &base, DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn handicap_injection_fails_gate_end_to_end() {
+        // A cheap two-scenario "suite": the calibration spec plus one
+        // stats kernel, measured honestly for the baseline and with a
+        // 1.5x handicap for the current run.
+        let specs = || {
+            suite(true)
+                .into_iter()
+                .filter(|s| s.name == CALIBRATION || s.name == "stats/select_median_mad_10k")
+                .collect::<Vec<_>>()
+        };
+        let run = |handicap: f64| {
+            let mut scenarios = Vec::new();
+            for spec in specs() {
+                let mut r = run_scenario(&spec, 1);
+                if spec.name != CALIBRATION && handicap > 1.0 {
+                    r.wall_ns = ((r.wall_ns as f64) * handicap) as u64;
+                    r.throughput /= handicap;
+                }
+                scenarios.push(r);
+            }
+            BenchDoc {
+                version: BENCH_VERSION,
+                quick: true,
+                scenarios,
+            }
+        };
+        let base = run(1.0);
+        // Same machine moments apart: an honest re-run must not drift
+        // checksums (it may legitimately jitter in speed, so only the
+        // checksum verdicts are asserted).
+        let honest = compare(&base, &run(1.0), DEFAULT_TOLERANCE).unwrap();
+        assert!(honest
+            .rows
+            .iter()
+            .all(|r| r.status != GateStatus::ChecksumDrift));
+        // A 2.5x handicap is far outside any timing jitter: gate fails.
+        let out = compare(&base, &run(2.5), DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.pass);
+        assert!(out.rows.iter().any(|r| r.status == GateStatus::Slow));
+        let table = markdown_table(&out);
+        assert!(table.contains("FAIL") && table.contains("SLOW"));
+    }
+
+    #[test]
+    fn quick_suite_runs_and_is_deterministic() {
+        // Stats + core scenarios only (the cheap half) — determinism of
+        // the heavier pipeline scenarios is covered by run_scenario's
+        // internal checksum assertion when the full suite runs.
+        for spec in suite(true)
+            .into_iter()
+            .filter(|s| s.name.starts_with("stats/") || s.name.starts_with("core/"))
+        {
+            let a = run_scenario(&spec, 1);
+            let b = run_scenario(&spec, 1);
+            assert_eq!(a.checksum, b.checksum, "{} drifted", spec.name);
+            assert!(a.throughput > 0.0);
+            assert!(a.items > 0);
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = Checksum::new();
+        a.push_f64(1.0);
+        a.push_f64(2.0);
+        let mut b = Checksum::new();
+        b.push_f64(2.0);
+        b.push_f64(1.0);
+        assert_ne!(a.hex(), b.hex());
+        assert_eq!(a.hex().len(), 16);
+    }
+}

@@ -209,7 +209,7 @@ impl StudyReport {
 
 /// Runs the study.
 pub fn run_study(config: &StudyConfig) -> StudyReport {
-    let months = (config.weeks + 3) / 4;
+    let months = config.weeks.div_ceil(4);
     let root = Rng::seed_from(hash_combine(config.seed, 0x57D7_0001));
     let mut series: Vec<StudySeries> = Vec::new();
     let mut total_samples = 0u64;
@@ -224,10 +224,37 @@ pub fn run_study(config: &StudyConfig) -> StudyReport {
         }
     };
 
+    // Resolve the per-bench series slot once per (region, sku, lifespan)
+    // combination — the old path built a three-`String` key and ran a
+    // linear key scan for *every sample*, which dominated the study
+    // driver's measurement-generation loop at full scale.
+    let resolve = |series: &mut Vec<StudySeries>,
+                   region: &Region,
+                   sku: &VmSku,
+                   benches: &[Microbenchmark],
+                   lifespan: Lifespan|
+     -> Vec<usize> {
+        benches
+            .iter()
+            .map(|bench| {
+                series_index(
+                    series,
+                    SeriesKey {
+                        bench: bench.name.to_string(),
+                        region: region.name.clone(),
+                        sku: sku.name.clone(),
+                        lifespan,
+                    },
+                )
+            })
+            .collect()
+    };
+
     let mut next_vm_id = 0u64;
     for region in &config.regions {
         for sku in &config.skus {
             // Long-running VMs: provisioned once, sampled all study long.
+            let long_idx = resolve(&mut series, region, sku, &config.benches, Lifespan::Long);
             let mut long_vms: Vec<Machine> = (0..config.long_vms_per_combo)
                 .map(|_| {
                     next_vm_id += 1;
@@ -239,15 +266,8 @@ pub fn run_study(config: &StudyConfig) -> StudyReport {
                 let month = week / 4;
                 for vm in &mut long_vms {
                     for _ in 0..config.long_sessions_per_week {
-                        for bench in &config.benches {
+                        for (bench, &idx) in config.benches.iter().zip(&long_idx) {
                             let reading = bench.run(vm);
-                            let key = SeriesKey {
-                                bench: bench.name.to_string(),
-                                region: region.name.clone(),
-                                sku: sku.name.clone(),
-                                lifespan: Lifespan::Long,
-                            };
-                            let idx = series_index(&mut series, key);
                             series[idx].push(month, reading, config.keep_samples);
                             total_samples += 1;
                         }
@@ -258,21 +278,15 @@ pub fn run_study(config: &StudyConfig) -> StudyReport {
 
             // Short-lived fleet: fresh placement per VM, one pass of the
             // instrument set, then deprovision.
+            let short_idx = resolve(&mut series, region, sku, &config.benches, Lifespan::Short);
             for week in 0..config.weeks {
                 let month = week / 4;
                 for _ in 0..config.short_vms_per_week {
                     next_vm_id += 1;
                     total_instances += 1;
                     let mut vm = Machine::provision(next_vm_id, sku, region, &root);
-                    for bench in &config.benches {
+                    for (bench, &idx) in config.benches.iter().zip(&short_idx) {
                         let reading = bench.run(&mut vm);
-                        let key = SeriesKey {
-                            bench: bench.name.to_string(),
-                            region: region.name.clone(),
-                            sku: sku.name.clone(),
-                            lifespan: Lifespan::Short,
-                        };
-                        let idx = series_index(&mut series, key);
                         series[idx].push(month, reading, config.keep_samples);
                         total_samples += 1;
                     }
@@ -280,6 +294,11 @@ pub fn run_study(config: &StudyConfig) -> StudyReport {
             }
         }
     }
+
+    // Pre-resolving series slots creates them before any sample lands;
+    // drop the never-sampled ones so degenerate configs (zero weeks or
+    // VMs) report exactly what the old lazy path did: no series.
+    series.retain(|s| s.overall.count() > 0);
 
     StudyReport {
         series,
@@ -420,6 +439,29 @@ mod tests {
         let rel = s.relative_samples();
         assert!(!rel.is_empty());
         assert!((summary::mean(&rel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_study_reports_no_series() {
+        // Zero weeks: nothing is ever sampled, so no series may exist
+        // (pre-resolved slots must not leak out as empty series whose
+        // cov() would read as Some(0.0) = "perfectly stable").
+        let cfg = StudyConfig {
+            weeks: 0,
+            ..StudyConfig::quick()
+        };
+        let r = run_study(&cfg);
+        assert_eq!(r.total_samples, 0);
+        assert!(r.series.is_empty());
+        assert_eq!(
+            r.cov(
+                "mlc-maxbw-1to1",
+                "westus2",
+                "Standard_D8s_v5",
+                Lifespan::Short
+            ),
+            None
+        );
     }
 
     #[test]

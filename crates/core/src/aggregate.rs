@@ -28,10 +28,32 @@ pub enum AggregationPolicy {
 impl AggregationPolicy {
     /// Aggregates `values` under the given objective.
     ///
+    /// Convenience wrapper over [`AggregationPolicy::aggregate_with`];
+    /// hot loops should hold a scratch buffer and call that instead.
+    ///
     /// # Panics
     ///
     /// Panics if `values` is empty.
     pub fn aggregate(&self, values: &[f64], objective: Objective) -> f64 {
+        self.aggregate_with(values, objective, &mut Vec::new())
+    }
+
+    /// Aggregates `values` with a caller-owned scratch buffer.
+    ///
+    /// The min/max/mean policies are single allocation-free passes; the
+    /// median policy selects into `scratch` (expected O(n), no
+    /// allocation once the scratch has warmed up). Results are
+    /// bit-identical to [`AggregationPolicy::aggregate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn aggregate_with(
+        &self,
+        values: &[f64],
+        objective: Objective,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
         assert!(!values.is_empty(), "aggregate of no samples");
         match self {
             AggregationPolicy::WorstCase => match objective {
@@ -39,7 +61,7 @@ impl AggregationPolicy {
                 Objective::Minimize => summary::max(values).expect("non-empty"),
             },
             AggregationPolicy::Mean => summary::mean(values),
-            AggregationPolicy::Median => summary::median(values),
+            AggregationPolicy::Median => summary::median_with(values, scratch),
             AggregationPolicy::BestCase => match objective {
                 Objective::Maximize => summary::max(values).expect("non-empty"),
                 Objective::Minimize => summary::min(values).expect("non-empty"),
@@ -105,5 +127,25 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn empty_panics() {
         AggregationPolicy::Mean.aggregate(&[], Objective::Maximize);
+    }
+
+    #[test]
+    fn scratch_variant_is_bit_identical() {
+        let values = [500.0, 450.0, 530.0, 470.0, 510.0, 490.0];
+        let mut scratch = Vec::new();
+        for policy in [
+            AggregationPolicy::WorstCase,
+            AggregationPolicy::Mean,
+            AggregationPolicy::Median,
+            AggregationPolicy::BestCase,
+        ] {
+            for objective in [Objective::Maximize, Objective::Minimize] {
+                assert_eq!(
+                    policy.aggregate_with(&values, objective, &mut scratch),
+                    policy.aggregate(&values, objective),
+                    "{policy:?} {objective:?}"
+                );
+            }
+        }
     }
 }

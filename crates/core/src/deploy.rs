@@ -173,18 +173,9 @@ mod tests {
     fn deployment_shapes() {
         let pg = Postgres::new();
         let w = tuna_workloads::tpcc();
-        let mut rng = Rng::seed_from(1);
-        let stats = evaluate_deployment(
-            &pg,
-            &w,
-            &pg.default_config(),
-            &base(),
-            1,
-            10,
-            3,
-            1.0,
-            &mut rng,
-        );
+        let rng = Rng::seed_from(1);
+        let stats =
+            evaluate_deployment(&pg, &w, &pg.default_config(), &base(), 1, 10, 3, 1.0, &rng);
         assert_eq!(stats.values.len(), 30);
         assert!(stats.mean > 500.0);
         assert!(stats.std >= 0.0);
@@ -196,29 +187,9 @@ mod tests {
     fn different_labels_different_vms() {
         let pg = Postgres::new();
         let w = tuna_workloads::tpcc();
-        let mut rng = Rng::seed_from(2);
-        let a = evaluate_deployment(
-            &pg,
-            &w,
-            &pg.default_config(),
-            &base(),
-            1,
-            10,
-            1,
-            1.0,
-            &mut rng,
-        );
-        let b = evaluate_deployment(
-            &pg,
-            &w,
-            &pg.default_config(),
-            &base(),
-            2,
-            10,
-            1,
-            1.0,
-            &mut rng,
-        );
+        let rng = Rng::seed_from(2);
+        let a = evaluate_deployment(&pg, &w, &pg.default_config(), &base(), 1, 10, 1, 1.0, &rng);
+        let b = evaluate_deployment(&pg, &w, &pg.default_config(), &base(), 2, 10, 1, 1.0, &rng);
         assert_ne!(a.values, b.values);
     }
 
@@ -231,9 +202,9 @@ mod tests {
             rd.space().index_of("maxmemory_mb").unwrap(),
             tuna_space::ParamValue::Int(4_096),
         );
-        let mut rng = Rng::seed_from(3);
+        let rng = Rng::seed_from(3);
         let penalty = 0.908;
-        let stats = evaluate_deployment(&rd, &w, &broken, &base(), 3, 10, 2, penalty, &mut rng);
+        let stats = evaluate_deployment(&rd, &w, &broken, &base(), 3, 10, 2, penalty, &rng);
         assert_eq!(stats.crashes, 20);
         assert!(stats.values.iter().all(|&v| v == penalty));
     }
@@ -241,14 +212,14 @@ mod tests {
     #[test]
     fn default_worst_case_orientation() {
         let pg = Postgres::new();
-        let mut rng = Rng::seed_from(4);
+        let rng = Rng::seed_from(4);
         // Throughput: worst = lowest.
         let tpcc = tuna_workloads::tpcc();
-        let worst_tps = default_worst_case(&pg, &tpcc, &base(), &mut rng);
+        let worst_tps = default_worst_case(&pg, &tpcc, &base(), &rng);
         assert!(worst_tps < 900.0 && worst_tps > 300.0, "{worst_tps}");
         // Runtime: worst = highest.
         let tpch = tuna_workloads::tpch();
-        let worst_rt = default_worst_case(&pg, &tpch, &base(), &mut rng);
+        let worst_rt = default_worst_case(&pg, &tpch, &base(), &rng);
         assert!(worst_rt > 100.0, "{worst_rt}");
     }
 }

@@ -321,46 +321,48 @@ fn execute_lanes_parallel(
         lanes.drain(..).map(|l| Mutex::new(Some(l))).collect();
     let cursor = AtomicUsize::new(0);
 
-    let mut per_worker: Vec<(Vec<(usize, RunOutcome)>, Vec<LaneStats>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let slots = &slots;
-                    let cursor = &cursor;
-                    scope.spawn(move || {
-                        let mut produced: Vec<(usize, RunOutcome)> = Vec::new();
-                        let mut lane_stats: Vec<LaneStats> = Vec::new();
-                        loop {
-                            let l = cursor.fetch_add(1, Ordering::Relaxed);
-                            if l >= n_lanes {
-                                break;
-                            }
-                            let lane = slots[l]
-                                .lock()
-                                .expect("lane mutex poisoned")
-                                .take()
-                                .expect("lane claimed twice");
-                            let start = Instant::now();
-                            for &i in &lane.requests {
-                                let req = &requests[i];
-                                let outcome = run_one(sut, workload, lane.machine, base, req);
-                                produced.push((i, outcome));
-                            }
-                            lane_stats.push(LaneStats {
-                                machine: lane.machine_idx,
-                                runs: lane.requests.len(),
-                                nanos: start.elapsed().as_nanos(),
-                            });
+    // What one worker thread brings home: outcomes tagged with their
+    // lane index, plus per-lane timing.
+    type WorkerHarvest = (Vec<(usize, RunOutcome)>, Vec<LaneStats>);
+    let mut per_worker: Vec<WorkerHarvest> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let slots = &slots;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, RunOutcome)> = Vec::new();
+                    let mut lane_stats: Vec<LaneStats> = Vec::new();
+                    loop {
+                        let l = cursor.fetch_add(1, Ordering::Relaxed);
+                        if l >= n_lanes {
+                            break;
                         }
-                        (produced, lane_stats)
-                    })
+                        let lane = slots[l]
+                            .lock()
+                            .expect("lane mutex poisoned")
+                            .take()
+                            .expect("lane claimed twice");
+                        let start = Instant::now();
+                        for &i in &lane.requests {
+                            let req = &requests[i];
+                            let outcome = run_one(sut, workload, lane.machine, base, req);
+                            produced.push((i, outcome));
+                        }
+                        lane_stats.push(LaneStats {
+                            machine: lane.machine_idx,
+                            runs: lane.requests.len(),
+                            nanos: start.elapsed().as_nanos(),
+                        });
+                    }
+                    (produced, lane_stats)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    });
 
     let mut outcomes: Vec<Option<RunOutcome>> = requests.iter().map(|_| None).collect();
     let mut lane_stats: Vec<LaneStats> = Vec::with_capacity(n_lanes);

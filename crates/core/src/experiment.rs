@@ -289,7 +289,7 @@ impl Experiment {
             self.deploy_vms,
             self.deploy_repeats,
             crash_penalty,
-            &mut rng,
+            &rng,
         );
 
         RunSummary {

@@ -25,14 +25,13 @@ use crate::adjuster::{AdjusterConfig, NoiseAdjuster};
 use crate::aggregate::AggregationPolicy;
 use crate::executor::{self, ExecStats, ExecutionMode, RunRequest};
 use crate::outlier::OutlierDetector;
-use crate::sample::Sample;
+use crate::sample::{Sample, SampleScratch};
 use crate::scheduler::TaskScheduler;
 use tuna_cloudsim::Cluster;
 use tuna_optimizer::multifidelity::LadderParams;
 use tuna_optimizer::{Objective, Optimizer};
 use tuna_space::{Config, ConfigId};
 use tuna_stats::rng::{hash_combine, Rng};
-use tuna_stats::summary;
 use tuna_sut::SystemUnderTest;
 use tuna_workloads::Workload;
 
@@ -175,6 +174,7 @@ pub struct TunaPipeline<'a> {
     trace: Vec<IterationRecord>,
     round: usize,
     exec: ExecStats,
+    scratch: SampleScratch,
 }
 
 impl<'a> TunaPipeline<'a> {
@@ -214,6 +214,7 @@ impl<'a> TunaPipeline<'a> {
             trace: Vec::new(),
             round: 0,
             exec: ExecStats::default(),
+            scratch: SampleScratch::new(),
         }
     }
 
@@ -270,14 +271,22 @@ impl<'a> TunaPipeline<'a> {
             ));
         }
 
-        let samples = self.samples.get(&id).cloned().unwrap_or_default();
-        let raws: Vec<f64> = samples.iter().map(|s| s.raw).collect();
-        if raws.is_empty() {
+        // Take the config's samples out of the map for this round — the
+        // old path cloned the whole `Vec<Sample>` (metric vectors
+        // included) every iteration; moving it out and back costs
+        // nothing and keeps the borrows disjoint.
+        let samples = self.samples.remove(&id).unwrap_or_default();
+        if samples.is_empty() {
             return; // Nothing to report (degenerate suggestion).
         }
+        let scratch = &mut self.scratch;
+        scratch.raws.clear();
+        scratch.raws.extend(samples.iter().map(|s| s.raw));
 
-        // Outlier detection over *all* samples of the config.
-        let unstable = self.config.outlier_enabled && self.detector.classify(&raws).is_unstable();
+        // Outlier detection over *all* samples of the config (single
+        // min/max/mean pass).
+        let unstable =
+            self.config.outlier_enabled && self.detector.classify(&scratch.raws).is_unstable();
         if unstable {
             self.unstable_seen.insert(id, true);
         } else {
@@ -285,18 +294,21 @@ impl<'a> TunaPipeline<'a> {
         }
 
         // Noise adjustment (bypassed for unstable configs and crashes).
-        let values: Vec<f64> = if self.config.adjuster_enabled {
-            samples
-                .iter()
-                .map(|s| self.adjuster.adjust(s, unstable))
-                .collect()
+        scratch.values.clear();
+        if self.config.adjuster_enabled {
+            for s in &samples {
+                scratch.values.push(self.adjuster.adjust(s, unstable));
+            }
         } else {
-            raws.clone()
-        };
+            scratch.values.extend_from_slice(&scratch.raws);
+        }
 
         // Aggregate and penalize.
         let objective = self.optimizer.objective();
-        let mut reported = self.config.aggregation.aggregate(&values, objective);
+        let mut reported =
+            self.config
+                .aggregation
+                .aggregate_with(&scratch.values, objective, &mut scratch.select);
         if unstable {
             reported = self.detector.penalize(reported, objective);
         }
@@ -311,7 +323,9 @@ impl<'a> TunaPipeline<'a> {
             self.trained_configs.insert(id, true);
             let clean: Vec<&Sample> = samples.iter().filter(|s| !s.crashed).collect();
             if clean.len() >= 2 {
-                let truth = summary::mean(&clean.iter().map(|s| s.raw).collect::<Vec<_>>());
+                // Inline mean over the clean raws (same left-to-right
+                // summation as `summary::mean`, without the collect).
+                let truth = clean.iter().map(|s| s.raw).sum::<f64>() / clean.len() as f64;
                 if truth != 0.0 {
                     let raw_rel_err = clean
                         .iter()
@@ -334,6 +348,7 @@ impl<'a> TunaPipeline<'a> {
                 self.adjuster.train_on_config(&samples, rng);
             }
         }
+        self.samples.insert(id, samples);
 
         self.round += 1;
         let best_so_far = self.optimizer.best().map(|(_, v)| v);

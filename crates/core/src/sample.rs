@@ -30,6 +30,30 @@ impl Sample {
     }
 }
 
+/// Reusable buffers for the per-iteration sampling hot path.
+///
+/// [`crate::pipeline::TunaPipeline::step`] runs outlier detection,
+/// noise adjustment and aggregation over every sample a config has
+/// gathered, once per round; these scratch vectors let that loop run
+/// allocation-free at steady state instead of building three fresh
+/// `Vec`s per iteration.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    /// Raw metric values of the config's samples.
+    pub raws: Vec<f64>,
+    /// Noise-adjusted values (input to aggregation).
+    pub values: Vec<f64>,
+    /// Selection scratch for order-statistic aggregation policies.
+    pub select: Vec<f64>,
+}
+
+impl SampleScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

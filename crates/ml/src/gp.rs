@@ -170,7 +170,7 @@ impl GaussianProcess {
                         y_std: std,
                     };
                     if let Ok(lml) = candidate.fit_fixed(x, &y_std_vals) {
-                        if best.as_ref().map_or(true, |(b, _, _)| lml > *b) {
+                        if best.as_ref().is_none_or(|(b, _, _)| lml > *b) {
                             best = Some((lml, candidate.kernel, nv));
                         }
                     }

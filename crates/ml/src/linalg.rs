@@ -81,9 +81,9 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -168,8 +168,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l.get(i, k) * z[k];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * zk;
             }
             z[i] = sum / self.l.get(i, i);
         }
@@ -183,8 +183,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for k in (i + 1)..n {
-                sum -= self.l.get(k, i) * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
             }
             x[i] = sum / self.l.get(i, i);
         }

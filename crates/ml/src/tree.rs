@@ -347,7 +347,7 @@ mod tests {
         let t = RegressionTree::fit(&xs, &ys, TreeParams::default(), &mut rng).unwrap();
         for x in &xs {
             let p = t.predict(x);
-            assert!(p >= 0.0 && p <= 10.0);
+            assert!((0.0..=10.0).contains(&p));
         }
     }
 

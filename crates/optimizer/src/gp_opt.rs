@@ -101,7 +101,7 @@ impl Proposer for GpProposer {
             let enc = space.encode_one_hot(&cand);
             let (mean, var) = gp.predict_stats(&enc);
             let ei = expected_improvement(mean, var.sqrt(), best_cost, self.params.xi);
-            if best.as_ref().map_or(true, |(b, _)| ei > *b) {
+            if best.as_ref().is_none_or(|(b, _)| ei > *b) {
                 best = Some((ei, cand));
             }
         }

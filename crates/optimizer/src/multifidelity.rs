@@ -147,7 +147,7 @@ impl<P: Proposer> MultiFidelityOptimizer<P> {
                 let rung = &self.rungs[r];
                 let mut sorted = rung.results.clone();
                 sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN cost"));
-                let k = (sorted.len() + self.ladder.eta - 1) / self.ladder.eta;
+                let k = sorted.len().div_ceil(self.ladder.eta);
                 sorted
                     .into_iter()
                     .take(k)

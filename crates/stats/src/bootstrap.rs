@@ -5,7 +5,7 @@
 //! nonparametric percentile bootstrap of the mean.
 
 use crate::rng::Rng;
-use crate::summary::{mean, quantile};
+use crate::summary::{mean, quantile_of_sorted};
 
 /// A two-sided confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,11 +73,14 @@ where
         }
         replicates.push(statistic(&buf));
     }
+    // One sort serves both tails (the old path re-sorted a clone of the
+    // replicate vector per quantile); values are bit-identical.
+    replicates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap replicate"));
     let alpha = (1.0 - level) / 2.0;
     ConfidenceInterval {
-        lo: quantile(&replicates, alpha),
+        lo: quantile_of_sorted(&replicates, alpha),
         point,
-        hi: quantile(&replicates, 1.0 - alpha),
+        hi: quantile_of_sorted(&replicates, 1.0 - alpha),
     }
 }
 

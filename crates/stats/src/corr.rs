@@ -3,8 +3,48 @@
 //! The paper's §3.2.1 investigation "thoroughly investigated system
 //! performance metrics ... revealed no obvious correlations"; our
 //! reproduction of that analysis uses these estimators.
+//!
+//! [`pearson`] runs as a **single streaming pass** (Welford-style
+//! co-moment updates) instead of the old mean-then-comoment double pass;
+//! the differential suite pins it within 1e-12 of the retained
+//! [`naive::pearson`] oracle. [`spearman_with`] ranks through a reusable
+//! [`RankScratch`] so repeated correlation sweeps allocate nothing.
 
-/// Pearson product-moment correlation of two equal-length slices.
+/// Reference implementations retained as differential-test oracles.
+pub mod naive {
+    /// Two-pass Pearson correlation (the pre-streaming implementation of
+    /// [`super::pearson`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "length mismatch");
+        let n = xs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mx;
+            let dy = y - my;
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 || syy == 0.0 {
+            return 0.0;
+        }
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Pearson product-moment correlation of two equal-length slices,
+/// computed in one streaming pass (Welford-style co-moments).
 ///
 /// Returns `0.0` when either input is degenerate (fewer than two points or
 /// zero variance).
@@ -14,26 +54,40 @@
 /// Panics if the slices have different lengths.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "length mismatch");
-    let n = xs.len();
-    if n < 2 {
+    if xs.len() < 2 {
         return 0.0;
     }
-    let mx = xs.iter().sum::<f64>() / n as f64;
-    let my = ys.iter().sum::<f64>() / n as f64;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
+    let mut mx = 0.0;
+    let mut my = 0.0;
+    let mut cxx = 0.0;
+    let mut cyy = 0.0;
+    let mut cxy = 0.0;
+    let mut n = 0.0;
     for (&x, &y) in xs.iter().zip(ys) {
+        n += 1.0;
         let dx = x - mx;
         let dy = y - my;
-        sxy += dx * dy;
-        sxx += dx * dx;
-        syy += dy * dy;
+        mx += dx / n;
+        my += dy / n;
+        let dy2 = y - my;
+        cxx += dx * (x - mx);
+        cyy += dy * dy2;
+        cxy += dx * dy2;
     }
-    if sxx == 0.0 || syy == 0.0 {
+    if cxx <= 0.0 || cyy <= 0.0 {
         return 0.0;
     }
-    sxy / (sxx.sqrt() * syy.sqrt())
+    cxy / (cxx.sqrt() * cyy.sqrt())
+}
+
+/// Reusable buffers for rank transforms — repeated [`spearman_with`]
+/// sweeps (e.g. the §3.2.1 metric-correlation matrix) allocate nothing
+/// once warmed up.
+#[derive(Debug, Default, Clone)]
+pub struct RankScratch {
+    idx: Vec<usize>,
+    rx: Vec<f64>,
+    ry: Vec<f64>,
 }
 
 /// Spearman rank correlation (Pearson over mid-ranks, ties averaged).
@@ -42,18 +96,39 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    spearman_with(xs, ys, &mut RankScratch::default())
+}
+
+/// Spearman rank correlation with caller-owned scratch buffers.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman_with(xs: &[f64], ys: &[f64], scratch: &mut RankScratch) -> f64 {
     assert_eq!(xs.len(), ys.len(), "length mismatch");
-    let rx = ranks(xs);
-    let ry = ranks(ys);
-    pearson(&rx, &ry)
+    let RankScratch { idx, rx, ry } = scratch;
+    ranks_into(xs, idx, rx);
+    ranks_into(ys, idx, ry);
+    pearson(rx, ry)
 }
 
 /// Mid-rank transform (ties get the average of their rank positions).
+#[cfg(test)]
 fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    ranks_into(xs, &mut idx, &mut out);
+    out
+}
+
+/// Mid-rank transform into caller-owned buffers.
+fn ranks_into(xs: &[f64], idx: &mut Vec<usize>, out: &mut Vec<f64>) {
     let n = xs.len();
-    let mut idx: Vec<usize> = (0..n).collect();
+    idx.clear();
+    idx.extend(0..n);
     idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
-    let mut out = vec![0.0; n];
+    out.clear();
+    out.resize(n, 0.0);
     let mut i = 0;
     while i < n {
         let mut j = i;
@@ -66,7 +141,6 @@ fn ranks(xs: &[f64]) -> Vec<f64> {
         }
         i = j + 1;
     }
-    out
 }
 
 #[cfg(test)]
@@ -104,9 +178,33 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_naive_oracle() {
+        let xs = [10.5, -3.0, 7.25, 100.0, 0.0, 55.5, 2.0];
+        let ys = [1.0, 2.5, -7.0, 40.0, 3.0, 3.0, -1.0];
+        for n in 0..=xs.len() {
+            let fast = pearson(&xs[..n], &ys[..n]);
+            let slow = naive::pearson(&xs[..n], &ys[..n]);
+            assert!((fast - slow).abs() < 1e-12, "n = {n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
     fn ties_get_mid_ranks() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_scratch_reuse_is_identical() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        let ys = [2.0, 3.0, 9.0, 1.0];
+        let mut scratch = RankScratch::default();
+        let a = spearman_with(&xs, &ys, &mut scratch);
+        // Warm scratch with different-length input, then redo.
+        let _ = spearman_with(&xs[..2], &ys[..2], &mut scratch);
+        let b = spearman_with(&xs, &ys, &mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(a, spearman(&xs, &ys));
     }
 
     #[test]

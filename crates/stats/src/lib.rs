@@ -9,9 +9,13 @@
 //! - [`dist`]: sampling distributions (normal, log-normal, Zipf, Pareto, ...)
 //!   used by the cloud simulator and the workload models.
 //! - [`online`]: Welford-style online accumulators for streaming mean /
-//!   variance and min/max tracking.
+//!   variance and min/max tracking, plus the P²-style
+//!   [`online::P2Quantile`] streaming quantile estimator.
 //! - [`summary`]: batch statistics over slices — mean, variance, quantiles,
 //!   coefficient of variation and the paper's *relative range* heuristic.
+//!   Order statistics run by selection with reusable scratch buffers; the
+//!   pre-streaming sort-based code is retained in [`summary::naive`] as a
+//!   differential-test oracle.
 //! - [`bootstrap`]: percentile bootstrap confidence intervals.
 //! - [`hist`]: histograms and Gaussian kernel density estimates (used to
 //!   regenerate the Figure 8 density plot).
@@ -47,7 +51,7 @@ pub mod special;
 pub mod summary;
 
 pub use dist::Distribution;
-pub use online::Welford;
+pub use online::{P2Quantile, Welford};
 pub use rng::Rng;
 pub use summary::{coefficient_of_variation, mean, quantile, relative_range, std_dev};
 

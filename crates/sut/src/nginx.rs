@@ -168,7 +168,7 @@ impl Nginx {
     fn spike_probability(knobs: &NginxKnobs, os_speed: f64) -> f64 {
         let total_conns = knobs.worker_connections * knobs.worker_processes.max(1.0);
         let headroom = total_conns / CONCURRENT_CONNECTIONS;
-        if headroom >= 1.5 || headroom < 1.0 {
+        if !(1.0..1.5).contains(&headroom) {
             return 0.0; // Plenty of headroom, or already penalized flatly.
         }
         let thinness = (1.5 - headroom) / 0.5; // 0 at 1.5x, 1 at 1.0x.

@@ -37,7 +37,7 @@ fn main() {
         LadderParams::paper_default(),
     );
 
-    let crash_penalty = default_worst_case(&pg, &workload, &cluster, &mut rng);
+    let crash_penalty = default_worst_case(&pg, &workload, &cluster, &rng);
     let mut pipeline = TunaPipeline::new(
         TunaConfig::paper_default(crash_penalty),
         &pg,
@@ -78,7 +78,7 @@ fn main() {
         10,
         3,
         crash_penalty,
-        &mut rng,
+        &rng,
     );
     println!(
         "deployment on 10 fresh VMs: mean {:.0} tx/s, std {:.0}, range [{:.0}, {:.0}], relative range {:.1}%",

@@ -140,8 +140,8 @@ fn crash_penalty_flows_through_tuning_and_deployment() {
     };
     let sut = exp.make_sut();
     let base = Cluster::new(10, VmSku::d8s_v5(), Region::westus2(), 41);
-    let mut rng = Rng::seed_from(42);
-    let penalty = default_worst_case(sut.as_ref(), &exp.workload, &base, &mut rng);
+    let rng = Rng::seed_from(42);
+    let penalty = default_worst_case(sut.as_ref(), &exp.workload, &base, &rng);
     assert!(penalty > 0.0);
     // Deploy a config that always crashes: every value equals the penalty.
     let broken = {
@@ -160,7 +160,7 @@ fn crash_penalty_flows_through_tuning_and_deployment() {
         5,
         2,
         penalty,
-        &mut rng,
+        &rng,
     );
     assert_eq!(stats.crashes, 10);
     assert!(stats.values.iter().all(|&v| v == penalty));

@@ -222,6 +222,27 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,25 +294,4 @@ mod tests {
         });
         group.finish();
     }
-}
-
-/// Bundles benchmark functions into a runnable group function.
-#[macro_export]
-macro_rules! criterion_group {
-    ($name:ident, $($target:path),+ $(,)?) => {
-        pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
-            $( $target(&mut criterion); )+
-        }
-    };
-}
-
-/// Emits `main()` running the listed groups.
-#[macro_export]
-macro_rules! criterion_main {
-    ($($group:path),+ $(,)?) => {
-        fn main() {
-            $( $group(); )+
-        }
-    };
 }

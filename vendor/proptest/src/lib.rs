@@ -14,7 +14,9 @@
 //!   be replayed (`PROPTEST_CASES`/case index are deterministic);
 //! - the default case count is 32 (env `PROPTEST_CASES` overrides) and
 //!   an env cap `PROPTEST_MAX_CASES` bounds explicit `with_cases`
-//!   requests, keeping CI time bounded;
+//!   requests, keeping CI time bounded — a warning is logged whenever
+//!   the cap truncates a suite's request, so logs show effective
+//!   coverage;
 //! - only the strategy combinators used in this workspace exist.
 
 pub mod test_runner {
@@ -80,6 +82,21 @@ pub mod test_runner {
 
     fn env_u32(name: &str) -> Option<u32> {
         std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+
+    /// Logs when the `PROPTEST_MAX_CASES` cap truncated a suite's
+    /// requested case count, so CI logs show the *effective* coverage
+    /// instead of silently running fewer cases than the test asked
+    /// for. Returns whether a warning was emitted (for tests).
+    pub fn warn_if_capped(test_path: &str, requested: u32, resolved: u32) -> bool {
+        if resolved >= requested {
+            return false;
+        }
+        eprintln!(
+            "proptest: PROPTEST_MAX_CASES caps '{test_path}' at {resolved} of \
+             {requested} requested cases"
+        );
+        true
     }
 
     /// Deterministic per-(test, case) generator: FNV-1a over the test
@@ -406,6 +423,43 @@ macro_rules! proptest {
     };
 }
 
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.resolved_cases();
+                let __test_path = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::warn_if_capped(__test_path, __config.cases, __cases);
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::case_rng(__test_path, __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(__payload) = __outcome {
+                        eprintln!(
+                            "proptest: '{__test_path}' failed at case {__case} of {__cases} \
+                             (draws are deterministic per case; PROPTEST_SEED varies them)"
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
@@ -446,7 +500,7 @@ mod tests {
 
         #[test]
         fn config_attribute_accepted(b in any::<bool>()) {
-            prop_assert!(b || !b);
+            prop_assert_eq!(b, (b as u8) == 1);
         }
     }
 
@@ -498,40 +552,15 @@ mod tests {
         );
         assert_eq!(ProptestConfig::with_cases(0).resolved_cases(), 1);
     }
-}
 
-#[doc(hidden)]
-#[macro_export]
-macro_rules! __proptest_impl {
-    ( ($cfg:expr)
-      $(
-          $(#[$meta:meta])*
-          fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
-      )*
-    ) => {
-        $(
-            $(#[$meta])*
-            fn $name() {
-                let __config: $crate::test_runner::ProptestConfig = $cfg;
-                let __cases = __config.resolved_cases();
-                let __test_path = concat!(module_path!(), "::", stringify!($name));
-                for __case in 0..__cases {
-                    let mut __rng = $crate::test_runner::case_rng(__test_path, __case);
-                    $(
-                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
-                    )+
-                    let __outcome = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(|| $body),
-                    );
-                    if let Err(__payload) = __outcome {
-                        eprintln!(
-                            "proptest: '{__test_path}' failed at case {__case} of {__cases} \
-                             (draws are deterministic per case; PROPTEST_SEED varies them)"
-                        );
-                        ::std::panic::resume_unwind(__payload);
-                    }
-                }
-            }
-        )*
-    };
+    #[test]
+    fn cap_warning_fires_only_when_truncating() {
+        use crate::test_runner::warn_if_capped;
+        // Capped: requested more than resolved.
+        assert!(warn_if_capped("t::capped", 256, 64));
+        // Not capped: resolved equals or exceeds the request (the
+        // `max(1)` floor raises, never truncates).
+        assert!(!warn_if_capped("t::uncapped", 64, 64));
+        assert!(!warn_if_capped("t::floored", 0, 1));
+    }
 }

@@ -6,16 +6,9 @@
 //! aggregation policy inside an otherwise unchanged TUNA and deploys each
 //! winner.
 
-use tuna_bench::{banner, HarnessArgs};
-use tuna_cloudsim::Cluster;
+use tuna_bench::{banner, campaign_method_table, run_campaign, HarnessArgs};
 use tuna_core::aggregate::AggregationPolicy;
-use tuna_core::deploy::{default_worst_case, evaluate_deployment};
-use tuna_core::experiment::Experiment;
-use tuna_core::pipeline::{TunaConfig, TunaPipeline};
-use tuna_core::report::{method_comparison_table, summarize_method};
-use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
-use tuna_stats::rng::{hash_combine, Rng};
+use tuna_core::campaign::{Arm, Campaign, Recipe, SampleBudgetSpec};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -26,63 +19,39 @@ fn main() {
     );
     let runs = args.runs_or(3, 6, 10);
     let rounds = args.rounds_or(25, 60, 96);
-    let exp = Experiment::paper_default(tuna_workloads::tpcc());
-    let workload = exp.workload.clone();
 
+    // One arm per aggregation policy, every arm on the same seeds
+    // (historical salt 4000, rng label 9, deploy label 31).
+    let mut campaign = Campaign::protocol(
+        "ablation_aggregation",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &[],
+    )
+    .with_runs(runs);
+    let cluster_size = campaign
+        .experiment(0, tuna_core::executor::ExecutionMode::Serial)
+        .cluster_size;
     let policies = [
         ("min (paper)", AggregationPolicy::WorstCase),
         ("mean", AggregationPolicy::Mean),
         ("median", AggregationPolicy::Median),
         ("max (best case)", AggregationPolicy::BestCase),
     ];
-    let mut entries = Vec::new();
-    for (name, policy) in policies {
-        let mut summaries = Vec::new();
-        for run in 0..runs {
-            let seed = hash_combine(args.seed, 4_000 + run as u64);
-            let sut = exp.make_sut();
-            let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
-            let mut rng = Rng::seed_from(hash_combine(seed, 9));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
-            let mut cfg = TunaConfig::paper_default(crash_penalty);
-            cfg.aggregation = policy;
-            let optimizer = SmacOptimizer::multi_fidelity(
-                sut.space().clone(),
-                exp.objective(),
-                exp.smac.clone(),
-                LadderParams::paper_default(),
-            );
-            let mut pipeline = TunaPipeline::new(
-                cfg,
-                sut.as_ref(),
-                &workload,
-                Box::new(optimizer),
-                base.clone(),
-            );
-            pipeline.run_until_samples(rounds * exp.cluster_size, &mut rng);
-            let result = pipeline.finish();
-            let deployment = evaluate_deployment(
-                sut.as_ref(),
-                &workload,
-                &result.best_config,
-                &base,
-                31,
-                exp.deploy_vms,
-                exp.deploy_repeats,
-                crash_penalty,
-                &rng,
-            );
-            summaries.push(tuna_core::experiment::RunSummary {
-                method: "ablation",
-                best_config: result.best_config.clone(),
-                tuning: Some(result),
-                deployment,
-            });
-        }
-        entries.push((name, summarize_method(&summaries)));
-    }
-    let rows: Vec<(&str, tuna_core::report::MethodSummary)> = entries.clone();
-    println!("{}", method_comparison_table("tx/s", &rows));
+    campaign.arms = policies
+        .iter()
+        .map(|(name, policy)| {
+            Arm::new(
+                *name,
+                Recipe::SampleBudget(SampleBudgetSpec {
+                    aggregation: Some(*policy),
+                    ..SampleBudgetSpec::new(rounds * cluster_size, 4_000, 9, 31)
+                }),
+            )
+        })
+        .collect();
+    let result = run_campaign(&args, &campaign);
+    let entries = campaign_method_table(&campaign, &result, 0, "tx/s");
 
     let min_s = entries[0].1;
     let max_s = entries[3].1;

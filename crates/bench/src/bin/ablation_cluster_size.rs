@@ -5,15 +5,10 @@
 //! budget ladder and measures deployment robustness: small clusters miss
 //! flips; larger ones spend more per config for diminishing returns.
 
-use tuna_bench::{banner, HarnessArgs};
-use tuna_cloudsim::Cluster;
-use tuna_core::deploy::{default_worst_case, evaluate_deployment};
-use tuna_core::experiment::Experiment;
-use tuna_core::pipeline::{TunaConfig, TunaPipeline};
+use tuna_bench::{banner, fail, run_campaign, HarnessArgs};
+use tuna_core::campaign::{Arm, Campaign, ClusterShape, Recipe, SampleBudgetSpec};
 use tuna_core::report::render_table;
 use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
-use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary;
 
 fn main() {
@@ -25,8 +20,42 @@ fn main() {
     );
     let runs = args.runs_or(3, 5, 10);
     let sample_budget = args.rounds_or(250, 600, 960);
-    let exp = Experiment::paper_default(tuna_workloads::tpcc());
-    let workload = exp.workload.clone();
+
+    // One arm per cluster shape, every arm on the same seeds (historical
+    // salt 6000, rng label 17, deploy label 41).
+    let shapes = [
+        (3usize, vec![1usize, 3]),
+        (5, vec![1, 2, 5]),
+        (10, vec![1, 3, 10]),
+        (15, vec![1, 4, 15]),
+    ];
+    let mut campaign = Campaign::protocol(
+        "ablation_cluster_size",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &[],
+    )
+    .with_runs(runs);
+    campaign.arms = shapes
+        .iter()
+        .map(|(size, budgets)| {
+            Arm::new(
+                format!("{size}"),
+                Recipe::SampleBudget(SampleBudgetSpec {
+                    cluster: Some(ClusterShape {
+                        size: *size,
+                        ladder: LadderParams {
+                            budgets: budgets.clone(),
+                            eta: 3,
+                            min_rung_size: 3,
+                        },
+                    }),
+                    ..SampleBudgetSpec::new(sample_budget, 6_000, 17, 41)
+                }),
+            )
+        })
+        .collect();
+    let result = run_campaign(&args, &campaign);
 
     let mut rows = vec![vec![
         "cluster".to_string(),
@@ -35,62 +64,19 @@ fn main() {
         "deploy std".to_string(),
         "deploy rel.range".to_string(),
     ]];
-    for (cluster_size, budgets) in [
-        (3usize, vec![1usize, 3]),
-        (5, vec![1, 2, 5]),
-        (10, vec![1, 3, 10]),
-        (15, vec![1, 4, 15]),
-    ] {
-        let ladder = LadderParams {
-            budgets,
-            eta: 3,
-            min_rung_size: 3,
-        };
-        let mut means = Vec::new();
-        let mut stds = Vec::new();
-        let mut ranges = Vec::new();
-        for run in 0..runs {
-            let seed = hash_combine(args.seed, 6_000 + run as u64);
-            let sut = exp.make_sut();
-            let base = Cluster::new(cluster_size, exp.sku.clone(), exp.region.clone(), seed);
-            let mut rng = Rng::seed_from(hash_combine(seed, 17));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
-            let mut cfg = TunaConfig::paper_default(crash_penalty);
-            cfg.cluster_size = cluster_size;
-            cfg.ladder = ladder.clone();
-            let optimizer = SmacOptimizer::multi_fidelity(
-                sut.space().clone(),
-                exp.objective(),
-                exp.smac.clone(),
-                ladder.clone(),
-            );
-            let mut pipeline = TunaPipeline::new(
-                cfg,
-                sut.as_ref(),
-                &workload,
-                Box::new(optimizer),
-                base.clone(),
-            );
-            pipeline.run_until_samples(sample_budget, &mut rng);
-            let result = pipeline.finish();
-            let deployment = evaluate_deployment(
-                sut.as_ref(),
-                &workload,
-                &result.best_config,
-                &base,
-                41,
-                exp.deploy_vms,
-                exp.deploy_repeats,
-                crash_penalty,
-                &rng,
-            );
-            means.push(deployment.mean);
-            stds.push(deployment.std);
-            ranges.push(deployment.relative_range);
-        }
+    for (a, (arm, (_, budgets))) in campaign.arms.iter().zip(&shapes).enumerate() {
+        let summaries = result.run_summaries(0, a).unwrap_or_else(|| {
+            fail("the relative-range column needs in-process results; delete the --store file to recompute")
+        });
+        let means: Vec<f64> = summaries.iter().map(|r| r.deployment.mean).collect();
+        let stds: Vec<f64> = summaries.iter().map(|r| r.deployment.std).collect();
+        let ranges: Vec<f64> = summaries
+            .iter()
+            .map(|r| r.deployment.relative_range)
+            .collect();
         rows.push(vec![
-            format!("{cluster_size}"),
-            format!("{:?}", ladder.budgets),
+            arm.label.clone(),
+            format!("{budgets:?}"),
             format!("{:.0}", summary::mean(&means)),
             format!("{:.0}", summary::mean(&stds)),
             format!("{:.1}%", summary::mean(&ranges) * 100.0),

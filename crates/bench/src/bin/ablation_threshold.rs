@@ -6,16 +6,12 @@
 //! negatives deploy disasters. This sweep runs TUNA across thresholds and
 //! reports deployment quality plus how much of the search was discarded.
 
-use tuna_bench::{banner, HarnessArgs};
-use tuna_cloudsim::Cluster;
-use tuna_core::deploy::{default_worst_case, evaluate_deployment};
-use tuna_core::experiment::Experiment;
-use tuna_core::pipeline::{TunaConfig, TunaPipeline};
+use tuna_bench::{banner, fail, run_campaign, HarnessArgs};
+use tuna_core::campaign::{Arm, Campaign, Recipe, SampleBudgetSpec};
 use tuna_core::report::render_table;
-use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
-use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary;
+
+const THRESHOLDS: [f64; 6] = [0.10, 0.15, 0.20, 0.30, 0.50, 0.80];
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -26,8 +22,32 @@ fn main() {
     );
     let runs = args.runs_or(3, 5, 10);
     let rounds = args.rounds_or(25, 60, 96);
-    let exp = Experiment::paper_default(tuna_workloads::tpcc());
-    let workload = exp.workload.clone();
+
+    // One arm per threshold, every arm on the same seeds (historical
+    // salt 5000, rng label 13, deploy label 37).
+    let mut campaign = Campaign::protocol(
+        "ablation_threshold",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &[],
+    )
+    .with_runs(runs);
+    let cluster_size = campaign
+        .experiment(0, tuna_core::executor::ExecutionMode::Serial)
+        .cluster_size;
+    campaign.arms = THRESHOLDS
+        .iter()
+        .map(|&threshold| {
+            Arm::new(
+                format!("{:.0}%", threshold * 100.0),
+                Recipe::SampleBudget(SampleBudgetSpec {
+                    outlier_threshold: Some(threshold),
+                    ..SampleBudgetSpec::new(rounds * cluster_size, 5_000, 13, 37)
+                }),
+            )
+        })
+        .collect();
+    let result = run_campaign(&args, &campaign);
 
     let mut rows = vec![vec![
         "threshold".to_string(),
@@ -36,52 +56,22 @@ fn main() {
         "flagged unstable/run".to_string(),
         "worst deploy value".to_string(),
     ]];
-    for threshold in [0.10, 0.15, 0.20, 0.30, 0.50, 0.80] {
-        let mut means = Vec::new();
-        let mut stds = Vec::new();
-        let mut flagged = Vec::new();
-        let mut worst: f64 = f64::INFINITY;
-        for run in 0..runs {
-            let seed = hash_combine(args.seed, 5_000 + run as u64);
-            let sut = exp.make_sut();
-            let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
-            let mut rng = Rng::seed_from(hash_combine(seed, 13));
-            let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
-            let mut cfg = TunaConfig::paper_default(crash_penalty);
-            cfg.outlier_threshold = threshold;
-            let optimizer = SmacOptimizer::multi_fidelity(
-                sut.space().clone(),
-                exp.objective(),
-                exp.smac.clone(),
-                LadderParams::paper_default(),
-            );
-            let mut pipeline = TunaPipeline::new(
-                cfg,
-                sut.as_ref(),
-                &workload,
-                Box::new(optimizer),
-                base.clone(),
-            );
-            pipeline.run_until_samples(rounds * exp.cluster_size, &mut rng);
-            let result = pipeline.finish();
-            let deployment = evaluate_deployment(
-                sut.as_ref(),
-                &workload,
-                &result.best_config,
-                &base,
-                37,
-                exp.deploy_vms,
-                exp.deploy_repeats,
-                crash_penalty,
-                &rng,
-            );
-            means.push(deployment.mean);
-            stds.push(deployment.std);
-            flagged.push(result.n_unstable_configs as f64);
-            worst = worst.min(deployment.five.min);
-        }
+    for (a, arm) in campaign.arms.iter().enumerate() {
+        let summaries = result.run_summaries(0, a).unwrap_or_else(|| {
+            fail("the unstable-config column needs in-process results; delete the --store file to recompute")
+        });
+        let means: Vec<f64> = summaries.iter().map(|r| r.deployment.mean).collect();
+        let stds: Vec<f64> = summaries.iter().map(|r| r.deployment.std).collect();
+        let flagged: Vec<f64> = summaries
+            .iter()
+            .map(|r| r.tuning.as_ref().unwrap().n_unstable_configs as f64)
+            .collect();
+        let worst = summaries
+            .iter()
+            .map(|r| r.deployment.five.min)
+            .fold(f64::INFINITY, f64::min);
         rows.push(vec![
-            format!("{:.0}%", threshold * 100.0),
+            arm.label.clone(),
             format!("{:.0}", summary::mean(&means)),
             format!("{:.0}", summary::mean(&stds)),
             format!("{:.1}", summary::mean(&flagged)),

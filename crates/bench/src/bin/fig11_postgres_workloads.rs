@@ -9,8 +9,9 @@
 //! - (c) TPC-H: TUNA 70.3 s (-38.6%) vs trad 94.5 s (-17.3%);
 //! - (d) mssales: TUNA 33.2 s σ0.49 vs trad 62.5 s σ1.26 (default 79.4 s).
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
-use tuna_core::experiment::{Experiment, Method};
+use tuna_bench::{banner, campaign_method_table, paper_vs, run_campaign, HarnessArgs};
+use tuna_core::campaign::Campaign;
+use tuna_core::executor::ExecutionMode;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -21,7 +22,6 @@ fn main() {
     );
     let runs = args.runs_or(3, 8, 10);
     let rounds = args.rounds_or(30, 96, 96);
-    let methods = [Method::Tuna, Method::Traditional, Method::DefaultConfig];
 
     // (workload, [(method, paper mean, paper std); 3]).
     type PaperRow = (&'static str, [(&'static str, f64, f64); 3]);
@@ -60,13 +60,25 @@ fn main() {
         ),
     ];
 
-    for (workload, refs) in paper {
-        let w = match *workload {
-            "tpcc" => tuna_workloads::tpcc(),
-            "epinions" => tuna_workloads::epinions(),
-            "tpch" => tuna_workloads::tpch(),
-            _ => tuna_workloads::mssales(),
-        };
+    // The whole figure is one campaign: the workload axis times the
+    // method axis times `runs` seeds.
+    let campaign = Campaign::protocol(
+        "fig11_postgres_workloads",
+        args.seed,
+        vec![
+            tuna_workloads::tpcc(),
+            tuna_workloads::epinions(),
+            tuna_workloads::tpch(),
+            tuna_workloads::mssales(),
+        ],
+        &tuna_bench::PROTOCOL_METHODS,
+    )
+    .with_runs(runs)
+    .with_rounds(rounds);
+    let result = run_campaign(&args, &campaign);
+
+    for (w, (workload, refs)) in paper.iter().enumerate() {
+        let exp = campaign.experiment(w, ExecutionMode::Serial);
         println!();
         println!(
             "--- Figure 11{}: {} ({}) ---",
@@ -77,15 +89,13 @@ fn main() {
                 _ => 'd',
             },
             workload,
-            if w.metric.higher_is_better() {
+            if exp.workload.metric.higher_is_better() {
                 "higher is better"
             } else {
                 "lower is better"
             }
         );
-        let mut exp = Experiment::paper_default(w);
-        exp.rounds = rounds;
-        let results = compare_methods(&exp, &methods, runs, args.seed);
+        let results = campaign_method_table(&campaign, &result, w, exp.workload.metric.unit());
         for ((name, summary), (_, p_mean, p_std)) in results.iter().zip(refs.iter()) {
             let std_part = if p_std.is_nan() {
                 format!("σ {:.1}", summary.mean_std)

@@ -4,7 +4,7 @@
 //! variability (fewer high-performing machines) and finds TUNA at
 //! 2321 tx/s σ113.0 vs traditional 2239 tx/s σ267.7 (57.8% lower std).
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_bench::{banner, compare_methods, fail, paper_vs, HarnessArgs};
 use tuna_cloudsim::Region;
 use tuna_core::experiment::{Experiment, Method};
 
@@ -26,7 +26,8 @@ fn main() {
         &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
         runs,
         args.seed,
-    );
+    )
+    .unwrap_or_else(|e| fail(&e));
 
     let get = |n: &str| {
         results

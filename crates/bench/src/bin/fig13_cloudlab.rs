@@ -5,7 +5,7 @@
 //! (17.8x); 8/10 traditional configs unstable with 7.71x higher std; all
 //! TUNA configs stable and on average 7% faster.
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_bench::{banner, compare_methods, fail, paper_vs, HarnessArgs};
 use tuna_cloudsim::{Region, VmSku};
 use tuna_core::experiment::{Experiment, Method};
 
@@ -28,7 +28,8 @@ fn main() {
         &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
         runs,
         args.seed,
-    );
+    )
+    .unwrap_or_else(|e| fail(&e));
 
     let get = |n: &str| {
         results

@@ -6,8 +6,9 @@
 //! 27.5% lower std than default and 86.8% lower than traditional, at
 //! +1.7% mean latency vs the default.
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
-use tuna_core::experiment::{Experiment, Method};
+use tuna_bench::{banner, campaign_method_table, paper_vs, run_campaign, HarnessArgs};
+use tuna_core::campaign::Campaign;
+use tuna_core::executor::ExecutionMode;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -19,14 +20,17 @@ fn main() {
     let runs = args.runs_or(3, 8, 10);
     let rounds = args.rounds_or(30, 96, 96);
 
-    let mut exp = Experiment::paper_default(tuna_workloads::ycsb_c());
-    exp.rounds = rounds;
-    let results = compare_methods(
-        &exp,
-        &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
-        runs,
+    let campaign = Campaign::protocol(
+        "fig14_redis",
         args.seed,
-    );
+        vec![tuna_workloads::ycsb_c()],
+        &tuna_bench::PROTOCOL_METHODS,
+    )
+    .with_runs(runs)
+    .with_rounds(rounds);
+    let exp = campaign.experiment(0, ExecutionMode::Serial);
+    let result = run_campaign(&args, &campaign);
+    let results = campaign_method_table(&campaign, &result, 0, exp.workload.metric.unit());
 
     let get = |n: &str| {
         results

@@ -6,15 +6,9 @@
 //! exacerbates instability: its peak rises but so does its variance; TUNA
 //! ends 9.2% faster on average with 87.8% lower std.
 
-use tuna_bench::{banner, paper_vs, HarnessArgs};
-use tuna_cloudsim::Cluster;
-use tuna_core::deploy::{default_worst_case, evaluate_deployment};
-use tuna_core::experiment::{Experiment, Method};
-use tuna_core::pipeline::{TunaConfig, TunaPipeline};
-use tuna_core::report::{method_comparison_table, summarize_method};
-use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
-use tuna_stats::rng::{hash_combine, Rng};
+use tuna_bench::{banner, campaign_method_table, paper_vs, run_campaign, HarnessArgs};
+use tuna_core::campaign::{Arm, Campaign, Recipe, SampleBudgetSpec};
+use tuna_core::experiment::Method;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -26,72 +20,36 @@ fn main() {
     let runs = args.runs_or(3, 6, 10);
     let sample_budget = args.rounds_or(150, 500, 500);
 
-    let exp = Experiment::paper_default(tuna_workloads::tpcc());
-    let workload = exp.workload.clone();
+    // Both arms get the same sample budget; the TUNA arm pins the
+    // historical seed labels (salt 900, rng label 2, deploy label 77) and
+    // the traditional arm the historical per-arm seed salt.
+    let mut campaign = Campaign::protocol(
+        "fig16_equal_cost",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &[],
+    )
+    .with_runs(runs);
+    campaign.arms = vec![
+        Arm::new(
+            "TUNA (equal cost)",
+            Recipe::SampleBudget(SampleBudgetSpec::new(sample_budget, 900, 2, 77)),
+        ),
+        Arm::new(
+            "Traditional (equal cost)",
+            Recipe::Protocol {
+                method: Method::TraditionalExtended {
+                    samples: sample_budget,
+                },
+                seed_salt: Some(901),
+            },
+        ),
+    ];
+    let result = run_campaign(&args, &campaign);
+    let results = campaign_method_table(&campaign, &result, 0, "tx/s");
 
-    // TUNA runs until it has consumed `sample_budget` samples.
-    let mut tuna_runs = Vec::new();
-    for run in 0..runs {
-        let seed = hash_combine(args.seed, 900 + run as u64);
-        let sut = exp.make_sut();
-        let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
-        let mut rng = Rng::seed_from(hash_combine(seed, 2));
-        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
-        let optimizer = SmacOptimizer::multi_fidelity(
-            sut.space().clone(),
-            exp.objective(),
-            exp.smac.clone(),
-            LadderParams::paper_default(),
-        );
-        let mut pipeline = TunaPipeline::new(
-            TunaConfig::paper_default(crash_penalty),
-            sut.as_ref(),
-            &workload,
-            Box::new(optimizer),
-            base.clone(),
-        );
-        pipeline.run_until_samples(sample_budget, &mut rng);
-        let result = pipeline.finish();
-        let deployment = evaluate_deployment(
-            sut.as_ref(),
-            &workload,
-            &result.best_config,
-            &base,
-            77,
-            exp.deploy_vms,
-            exp.deploy_repeats,
-            crash_penalty,
-            &rng,
-        );
-        tuna_runs.push(tuna_core::experiment::RunSummary {
-            method: "TUNA (500 samples)",
-            best_config: result.best_config.clone(),
-            tuning: Some(result),
-            deployment,
-        });
-    }
-
-    // Extended traditional gets the same sample budget.
-    let trad_runs = exp.run_many(
-        Method::TraditionalExtended {
-            samples: sample_budget,
-        },
-        runs,
-        hash_combine(args.seed, 901),
-    );
-
-    let tuna_summary = summarize_method(&tuna_runs);
-    let trad_summary = summarize_method(&trad_runs);
-    println!(
-        "{}",
-        method_comparison_table(
-            "tx/s",
-            &[
-                ("TUNA (equal cost)", tuna_summary),
-                ("Traditional (equal cost)", trad_summary),
-            ]
-        )
-    );
+    let tuna_summary = results[0].1;
+    let trad_summary = results[1].1;
     paper_vs(
         "TUNA mean vs extended traditional",
         "+9.2%",
@@ -108,9 +66,12 @@ fn main() {
             tuna_summary.mean_std / trad_summary.mean_std.max(1e-9) * 100.0
         ),
     );
-    let avg_samples: f64 = tuna_runs
+    // Sample accounting from the stored rows, so it survives `--store`
+    // resumes bit-identically.
+    let avg_samples: f64 = result
+        .group_rows(0, 0)
         .iter()
-        .map(|r| r.tuning.as_ref().unwrap().total_samples as f64)
+        .map(|r| r.samples as f64)
         .sum::<f64>()
         / runs as f64;
     println!("  TUNA actually consumed {avg_samples:.0} samples/run (budget {sample_budget})");

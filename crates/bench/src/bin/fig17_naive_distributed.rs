@@ -6,16 +6,9 @@
 //! the same performance ~2.47x faster, matching naive's 500-sample result
 //! within ~206 samples on average.
 
-use tuna_bench::{banner, paper_vs, HarnessArgs};
-use tuna_cloudsim::Cluster;
-use tuna_core::baselines::run_naive_distributed;
-use tuna_core::deploy::default_worst_case;
-use tuna_core::experiment::Experiment;
-use tuna_core::pipeline::{TunaConfig, TunaPipeline};
+use tuna_bench::{banner, fail, paper_vs, run_campaign, HarnessArgs};
+use tuna_core::campaign::{Arm, Campaign, ConvergenceSpec, Recipe};
 use tuna_core::report::render_table;
-use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
-use tuna_stats::rng::{hash_combine, Rng};
 use tuna_stats::summary;
 
 /// Best-so-far (oriented) value after each sample count, step `step`.
@@ -50,48 +43,36 @@ fn main() {
     let sample_budget = args.rounds_or(150, 500, 500);
     let step = 10usize;
 
-    let exp = Experiment::paper_default(tuna_workloads::tpcc());
-    let workload = exp.workload.clone();
+    // One convergence cell per run: TUNA and naive distributed share one
+    // RNG stream (historical salt 700, label 3).
+    let mut campaign = Campaign::protocol(
+        "fig17_naive_distributed",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &[],
+    )
+    .with_runs(runs);
+    campaign.arms = vec![Arm::new(
+        "TUNA vs naive",
+        Recipe::Convergence(ConvergenceSpec {
+            samples: sample_budget,
+            seed_salt: 700,
+            rng_label: 3,
+        }),
+    )];
+    let result = run_campaign(&args, &campaign);
+    let pairs = result.pairs(0, 0).unwrap_or_else(|| {
+        fail(
+            "convergence curves need in-process traces; delete the --store file \
+             (or run without --store) to recompute them",
+        )
+    });
+
     let points = sample_budget / step;
     let mut tuna_curves: Vec<Vec<f64>> = Vec::new();
     let mut naive_curves: Vec<Vec<f64>> = Vec::new();
     let mut crossover_samples = Vec::new();
-
-    for run in 0..runs {
-        let seed = hash_combine(args.seed, 700 + run as u64);
-        let sut = exp.make_sut();
-        let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
-        let mut rng = Rng::seed_from(hash_combine(seed, 3));
-        let crash_penalty = default_worst_case(sut.as_ref(), &workload, &base, &rng);
-
-        let optimizer = SmacOptimizer::multi_fidelity(
-            sut.space().clone(),
-            exp.objective(),
-            exp.smac.clone(),
-            LadderParams::paper_default(),
-        );
-        let mut pipeline = TunaPipeline::new(
-            TunaConfig::paper_default(crash_penalty),
-            sut.as_ref(),
-            &workload,
-            Box::new(optimizer),
-            base.clone(),
-        );
-        pipeline.run_until_samples(sample_budget, &mut rng);
-        let tuna_result = pipeline.finish();
-
-        let naive_opt = SmacOptimizer::new(sut.space().clone(), exp.objective(), exp.smac.clone());
-        let naive_result = run_naive_distributed(
-            tuna_core::executor::ExecutionMode::from_env(),
-            sut.as_ref(),
-            &workload,
-            Box::new(naive_opt),
-            base,
-            sample_budget,
-            crash_penalty,
-            &mut rng,
-        );
-
+    for (tuna_result, naive_result) in &pairs {
         let t = curve_at(&tuna_result.trace, sample_budget, step);
         let n = curve_at(&naive_result.trace, sample_budget, step);
         // Samples TUNA needs to reach naive's final performance.

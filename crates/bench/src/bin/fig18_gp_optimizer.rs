@@ -5,8 +5,10 @@
 //! higher performance with 89.5% lower standard deviation than traditional
 //! sampling under the same GP optimizer.
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
-use tuna_core::experiment::{Experiment, Method, OptimizerKind};
+use tuna_bench::{banner, campaign_method_table, paper_vs, run_campaign, HarnessArgs};
+use tuna_core::campaign::Campaign;
+use tuna_core::executor::ExecutionMode;
+use tuna_core::experiment::OptimizerKind;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -19,15 +21,18 @@ fn main() {
     let runs = args.runs_or(2, 4, 10);
     let rounds = args.rounds_or(10, 30, 96);
 
-    let mut exp = Experiment::paper_default(tuna_workloads::tpcc());
-    exp.rounds = rounds;
-    exp.optimizer = OptimizerKind::Gp;
-    let results = compare_methods(
-        &exp,
-        &[Method::Tuna, Method::Traditional, Method::DefaultConfig],
-        runs,
+    let campaign = Campaign::protocol(
+        "fig18_gp_optimizer",
         args.seed,
-    );
+        vec![tuna_workloads::tpcc()],
+        &tuna_bench::PROTOCOL_METHODS,
+    )
+    .with_runs(runs)
+    .with_rounds(rounds)
+    .with_optimizer(OptimizerKind::Gp);
+    let exp = campaign.experiment(0, ExecutionMode::Serial);
+    let result = run_campaign(&args, &campaign);
+    let results = campaign_method_table(&campaign, &result, 0, exp.workload.metric.unit());
 
     let get = |n: &str| {
         results

@@ -4,7 +4,7 @@
 //! into the unstable zone — mean rises 8.5% but deployment variability is
 //! 10.1x higher (σ 550.8 vs 54.8 tx/s).
 
-use tuna_bench::{banner, compare_methods, paper_vs, HarnessArgs};
+use tuna_bench::{banner, compare_methods, fail, paper_vs, HarnessArgs};
 use tuna_core::experiment::{Experiment, Method};
 
 fn main() {
@@ -24,7 +24,8 @@ fn main() {
         &[Method::Tuna, Method::TunaNoOutlier, Method::DefaultConfig],
         runs,
         args.seed,
-    );
+    )
+    .unwrap_or_else(|e| fail(&e));
 
     let get = |n: &str| {
         results

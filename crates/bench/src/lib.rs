@@ -8,20 +8,39 @@
 //! the authors' Azure/CloudLab testbed); the *shape* — who wins, by what
 //! rough factor, where crossovers fall — is the reproduction target.
 //!
+//! Grid-shaped figures declare a [`tuna_core::campaign::Campaign`] and run
+//! it through [`run_campaign`]; the campaign engine owns the (workload ×
+//! method × seed) loop, cell-level parallelism (`TUNA_WORKERS`) and the
+//! optional persistent, resumable result store (`--store`).
+//!
 //! Common flags for all binaries:
 //!
 //! - `--runs N`: tuning runs per method (default varies per figure),
 //! - `--rounds N`: optimizer rounds per tuning run,
 //! - `--seed N`: root seed,
 //! - `--quick`: cut all budgets for a fast smoke run,
-//! - `--full`: paper-scale budgets (slow).
+//! - `--full`: paper-scale budgets (slow),
+//! - `--store PATH`: stream campaign cells into `PATH` (CSV + JSON
+//!   mirror) and resume completed cells on re-runs (campaign-backed
+//!   binaries only).
 
+use tuna_core::campaign::{Campaign, CampaignResult, CampaignRunner, ResultStore};
+use tuna_core::experiment::Method;
+use tuna_core::report::{method_comparison_table, summarize_method, MethodSummary};
 use tuna_stats::summary;
 
 pub mod perf;
 
+/// The standard §6 method-comparison arms (TUNA vs traditional sampling
+/// vs the vendor default) shared by Figures 11, 14, 15 and 18.
+pub const PROTOCOL_METHODS: [(&str, Method); 3] = [
+    ("TUNA", Method::Tuna),
+    ("Traditional", Method::Traditional),
+    ("Default", Method::DefaultConfig),
+];
+
 /// Parsed command-line options for regenerator binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HarnessArgs {
     /// Tuning runs per method (None = figure default).
     pub runs: Option<usize>,
@@ -33,45 +52,68 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Paper-scale mode.
     pub full: bool,
+    /// Campaign result-store path (campaign-backed binaries only).
+    pub store: Option<String>,
+}
+
+/// The usage message shared by every regenerator binary.
+pub const USAGE: &str = "usage: <figure binary> [--runs N] [--rounds N] [--seed N] \
+                         [--quick] [--full] [--store PATH]";
+
+/// Prints `msg` and the usage line to stderr, then exits with status 2.
+pub fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
 impl HarnessArgs {
-    /// Parses `std::env::args()`.
-    ///
-    /// # Panics
-    ///
-    /// Panics (with a usage message) on malformed flags.
+    /// Parses `std::env::args()`, printing a usage message and exiting
+    /// with a non-zero status on malformed flags, missing values or
+    /// unknown flags.
     pub fn parse() -> Self {
-        let mut args = HarnessArgs {
-            runs: None,
-            rounds: None,
-            seed: 42,
-            quick: false,
-            full: false,
-        };
         let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&argv).unwrap_or_else(|e| fail(&e))
+    }
+
+    /// [`HarnessArgs::parse`]'s grammar, factored out of the process
+    /// environment (and the process exit) so it is testable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the offending flag on malformed or
+    /// missing values and on unknown flags.
+    pub fn parse_from(argv: &[String]) -> Result<Self, String> {
+        fn value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+            *i += 1;
+            argv.get(*i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{flag} requires a value"))
+        }
+        fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag} requires a number, got '{raw}'"))
+        }
+        let mut args = HarnessArgs {
+            seed: 42,
+            ..HarnessArgs::default()
+        };
         let mut i = 0;
         while i < argv.len() {
             match argv[i].as_str() {
-                "--runs" => {
-                    i += 1;
-                    args.runs = Some(argv[i].parse().expect("--runs N"));
-                }
+                "--runs" => args.runs = Some(number(value(argv, &mut i, "--runs")?, "--runs")?),
                 "--rounds" => {
-                    i += 1;
-                    args.rounds = Some(argv[i].parse().expect("--rounds N"));
+                    args.rounds = Some(number(value(argv, &mut i, "--rounds")?, "--rounds")?)
                 }
-                "--seed" => {
-                    i += 1;
-                    args.seed = argv[i].parse().expect("--seed N");
-                }
+                "--seed" => args.seed = number(value(argv, &mut i, "--seed")?, "--seed")?,
+                "--store" => args.store = Some(value(argv, &mut i, "--store")?.to_string()),
                 "--quick" => args.quick = true,
                 "--full" => args.full = true,
-                other => panic!("unknown flag '{other}' (see crate docs for usage)"),
+                other => return Err(format!("unknown flag '{other}'")),
             }
             i += 1;
         }
-        args
+        Ok(args)
     }
 
     /// Picks a budget: quick / default / full.
@@ -112,14 +154,27 @@ pub fn paper_vs(label: &str, paper: &str, measured: &str) {
 
 /// Renders an inline ASCII distribution strip (poor man's boxplot) over a
 /// fixed value range.
+///
+/// Degenerate ranges are handled explicitly: a zero `width` renders as an
+/// empty strip, and when `hi <= lo` (constant series, reversed or
+/// non-finite bounds) all mass lands on the strip's center cell instead
+/// of silently aliasing to cell 0 through a NaN bucket index.
 pub fn strip_plot(values: &[f64], lo: f64, hi: f64, width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    let span = hi - lo;
     let mut cells = vec![0usize; width];
     for &v in values {
         if !v.is_finite() {
             continue;
         }
-        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
-        let idx = ((frac * (width - 1) as f64).round() as usize).min(width - 1);
+        let idx = if span > 0.0 && span.is_finite() {
+            let frac = ((v - lo) / span).clamp(0.0, 1.0);
+            ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+        } else {
+            width / 2
+        };
         cells[idx] += 1;
     }
     let max = cells.iter().copied().max().unwrap_or(1).max(1);
@@ -136,8 +191,12 @@ pub fn strip_plot(values: &[f64], lo: f64, hi: f64, width: usize) -> String {
         .collect()
 }
 
-/// Mean and std dev formatted as `mean ± std`.
+/// Mean and std dev formatted as `mean ± std`; `"n=0"` for empty input
+/// instead of `NaN ± NaN`.
 pub fn mean_pm_std(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "n=0".to_string();
+    }
     format!(
         "{:.1} ± {:.1}",
         summary::mean(values),
@@ -149,37 +208,103 @@ pub fn mean_pm_std(values: &[f64]) -> String {
 /// method-comparison table with the paper's reference values.
 ///
 /// Returns `(method name, summary)` pairs in the order given.
+///
+/// # Errors
+///
+/// Returns an error when `n_runs` or `methods` is empty — there is
+/// nothing to summarize, and formatting `NaN ± NaN` rows would hide the
+/// misconfiguration.
 pub fn compare_methods(
     exp: &tuna_core::experiment::Experiment,
     methods: &[tuna_core::experiment::Method],
     n_runs: usize,
     seed: u64,
-) -> Vec<(&'static str, tuna_core::report::MethodSummary)> {
-    use tuna_core::report::{method_comparison_table, summarize_method};
+) -> Result<Vec<(&'static str, MethodSummary)>, String> {
+    if n_runs == 0 {
+        return Err("--runs 0: no tuning runs to compare".to_string());
+    }
+    if methods.is_empty() {
+        return Err("no methods to compare".to_string());
+    }
     let mut out = Vec::new();
     for &method in methods {
         let runs = exp.run_many(method, n_runs, seed);
         out.push((method.name(), summarize_method(&runs)));
     }
     let unit = exp.workload.metric.unit();
-    let entries: Vec<(&str, tuna_core::report::MethodSummary)> =
-        out.iter().map(|(n, s)| (*n, *s)).collect();
+    let entries: Vec<(&str, MethodSummary)> = out.iter().map(|(n, s)| (*n, *s)).collect();
     println!("{}", method_comparison_table(unit, &entries));
-    out
+    Ok(out)
+}
+
+/// Runs a campaign with the harness's standard plumbing: cell-level
+/// workers from `TUNA_WORKERS`, the `--store` path (resume included) when
+/// given, and a stderr note about where results were persisted. Exits
+/// with a usage error when the grid is empty or the store is unusable.
+pub fn run_campaign(args: &HarnessArgs, campaign: &Campaign) -> CampaignResult {
+    if campaign.n_cells() == 0 {
+        fail("--runs 0: the campaign grid is empty");
+    }
+    let mut store = match &args.store {
+        None => ResultStore::in_memory(campaign),
+        Some(path) => ResultStore::open(path, campaign).unwrap_or_else(|e| fail(&e)),
+    };
+    let result = CampaignRunner::from_env().run(campaign, &mut store);
+    if let Some(path) = store.csv_path() {
+        eprintln!(
+            "campaign '{}': {} cells ({} executed, {} resumed), checksum {} -> {}",
+            campaign.name,
+            result.cells.len(),
+            result.executed,
+            result.resumed,
+            result.checksum,
+            path.display()
+        );
+    }
+    result
+}
+
+/// Prints the §6-style method-comparison table for one workload of a
+/// protocol campaign and returns the per-arm summaries in arm order.
+/// Exits with an error if a cell group has no payloads to summarize.
+pub fn campaign_method_table(
+    campaign: &Campaign,
+    result: &CampaignResult,
+    workload: usize,
+    unit: &str,
+) -> Vec<(String, MethodSummary)> {
+    let entries: Vec<(String, MethodSummary)> = campaign
+        .arms
+        .iter()
+        .enumerate()
+        .map(|(a, arm)| {
+            let summary = result.method_summary(workload, a).unwrap_or_else(|| {
+                fail(&format!(
+                    "campaign '{}': arm '{}' has no deployment summaries to tabulate",
+                    campaign.name, arm.label
+                ))
+            });
+            (arm.label.clone(), summary)
+        })
+        .collect();
+    let refs: Vec<(&str, MethodSummary)> = entries.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    println!("{}", method_comparison_table(unit, &refs));
+    entries
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn pick_budget_tiers() {
         let mut a = HarnessArgs {
-            runs: None,
-            rounds: None,
             seed: 1,
-            quick: false,
-            full: false,
+            ..HarnessArgs::default()
         };
         assert_eq!(a.pick(1, 2, 3), 2);
         a.quick = true;
@@ -193,13 +318,52 @@ mod tests {
     fn explicit_runs_override() {
         let a = HarnessArgs {
             runs: Some(7),
-            rounds: None,
             seed: 1,
             quick: true,
-            full: false,
+            ..HarnessArgs::default()
         };
         assert_eq!(a.runs_or(1, 2, 3), 7);
         assert_eq!(a.rounds_or(1, 2, 3), 1);
+    }
+
+    #[test]
+    fn parse_from_accepts_all_flags() {
+        let a = HarnessArgs::parse_from(&argv(&[
+            "--runs",
+            "4",
+            "--rounds",
+            "9",
+            "--seed",
+            "7",
+            "--quick",
+            "--store",
+            "out/c.csv",
+        ]))
+        .unwrap();
+        assert_eq!(a.runs, Some(4));
+        assert_eq!(a.rounds, Some(9));
+        assert_eq!(a.seed, 7);
+        assert!(a.quick && !a.full);
+        assert_eq!(a.store.as_deref(), Some("out/c.csv"));
+        let d = HarnessArgs::parse_from(&[]).unwrap();
+        assert_eq!(d.seed, 42);
+        assert_eq!(d.store, None);
+    }
+
+    #[test]
+    fn parse_from_rejects_bad_input() {
+        // Missing value at end of argv.
+        let e = HarnessArgs::parse_from(&argv(&["--runs"])).unwrap_err();
+        assert!(e.contains("--runs requires a value"), "{e}");
+        // Non-numeric value.
+        let e = HarnessArgs::parse_from(&argv(&["--rounds", "many"])).unwrap_err();
+        assert!(e.contains("--rounds requires a number"), "{e}");
+        // Unknown flags are errors, not silently ignored.
+        let e = HarnessArgs::parse_from(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown flag '--frobnicate'"), "{e}");
+        // A flag value that is itself flag-shaped parses as a value miss.
+        let e = HarnessArgs::parse_from(&argv(&["--seed", "--quick"])).unwrap_err();
+        assert!(e.contains("--seed requires a number"), "{e}");
     }
 
     #[test]
@@ -209,5 +373,47 @@ mod tests {
         assert_ne!(s.chars().next().unwrap(), '.');
         assert_ne!(s.chars().last().unwrap(), '.');
         assert_eq!(s.chars().nth(5).unwrap(), '.');
+    }
+
+    #[test]
+    fn strip_plot_constant_series_centers_mass() {
+        // hi == lo (a constant series' natural bounds) must not alias
+        // every sample to cell 0 through a NaN bucket index.
+        let s = strip_plot(&[5.0, 5.0, 5.0], 5.0, 5.0, 11);
+        assert_eq!(s.len(), 11);
+        assert_ne!(s.chars().nth(5).unwrap(), '.');
+        assert!(
+            s.chars().enumerate().all(|(i, c)| i == 5 || c == '.'),
+            "{s}"
+        );
+        // Reversed bounds degrade the same way instead of underflowing.
+        let r = strip_plot(&[1.0, 2.0], 3.0, -3.0, 7);
+        assert_ne!(r.chars().nth(3).unwrap(), '.');
+    }
+
+    #[test]
+    fn strip_plot_degenerate_width_and_values() {
+        assert_eq!(strip_plot(&[1.0, 2.0], 0.0, 1.0, 0), "");
+        // Non-finite samples and bounds are ignored rather than panicking.
+        let s = strip_plot(&[f64::NAN, f64::INFINITY], 0.0, 1.0, 5);
+        assert_eq!(s, ".....");
+        let t = strip_plot(&[0.5], f64::NAN, 1.0, 5);
+        assert_ne!(t.chars().nth(2).unwrap(), '.');
+    }
+
+    #[test]
+    fn mean_pm_std_handles_empty() {
+        assert_eq!(mean_pm_std(&[]), "n=0");
+        assert_eq!(mean_pm_std(&[2.0, 4.0]), "3.0 ± 1.4");
+    }
+
+    #[test]
+    fn compare_methods_rejects_empty_grids() {
+        let exp = tuna_core::experiment::Experiment::quick_demo();
+        let err = compare_methods(&exp, &[tuna_core::experiment::Method::DefaultConfig], 0, 1)
+            .unwrap_err();
+        assert!(err.contains("--runs 0"), "{err}");
+        let err = compare_methods(&exp, &[], 1, 1).unwrap_err();
+        assert!(err.contains("no methods"), "{err}");
     }
 }

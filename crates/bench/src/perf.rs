@@ -62,47 +62,9 @@ pub const BENCH_VERSION: u64 = 1;
 // Checksum
 // ---------------------------------------------------------------------------
 
-/// Order-sensitive FNV-1a/64 accumulator over the values a scenario
-/// produces. Floats are folded by their IEEE-754 bit pattern, so any
-/// numeric drift — however small — changes the checksum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Checksum(u64);
-
-impl Default for Checksum {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Checksum {
-    /// Creates an accumulator at the FNV offset basis.
-    pub fn new() -> Self {
-        Checksum(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Folds raw bytes.
-    pub fn push_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    /// Folds a `u64`.
-    pub fn push_u64(&mut self, x: u64) {
-        self.push_bytes(&x.to_le_bytes());
-    }
-
-    /// Folds a float by bit pattern.
-    pub fn push_f64(&mut self, x: f64) {
-        self.push_u64(x.to_bits());
-    }
-
-    /// The digest as a 16-char lowercase hex string.
-    pub fn hex(&self) -> String {
-        format!("{:016x}", self.0)
-    }
-}
+/// Order-sensitive FNV-1a/64 digest over the values a scenario produces
+/// (shared with the campaign engine; see [`tuna_stats::fnv`]).
+pub use tuna_stats::fnv::Checksum;
 
 // ---------------------------------------------------------------------------
 // BENCH.json document
@@ -944,6 +906,46 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
                     &mut rng,
                 );
                 checksum_result(c, &result);
+            }),
+        });
+    }
+
+    // -- campaign engine ---------------------------------------------------
+    // A small (workload × method) grid through the declarative campaign
+    // runner, executed serially and with 4 cell-stealing workers; the two
+    // result stores must agree checksum-for-checksum (the campaign's
+    // determinism contract), and every cell digest feeds the scenario
+    // checksum so grid numerics are gated run over run.
+    {
+        let rounds = if quick { 2 } else { 6 };
+        v.push(ScenarioSpec {
+            name: "campaign/grid_small",
+            // 2 workloads × 2 arms × 1 run, executed in both modes.
+            items: 8,
+            run: Box::new(move |c| {
+                use tuna_core::campaign::{Campaign, CampaignRunner, ResultStore};
+                use tuna_core::experiment::Method;
+                let campaign = Campaign::protocol(
+                    "perfgate_grid_small",
+                    0xCA4A,
+                    vec![tuna_workloads::tpcc(), tuna_workloads::ycsb_c()],
+                    &[("TUNA", Method::Tuna), ("Default", Method::DefaultConfig)],
+                )
+                .with_runs(1)
+                .with_rounds(rounds);
+                let mut serial_store = ResultStore::in_memory(&campaign);
+                let serial = CampaignRunner::serial().run(&campaign, &mut serial_store);
+                let mut par_store = ResultStore::in_memory(&campaign);
+                let parallel = CampaignRunner::with_workers(4).run(&campaign, &mut par_store);
+                assert_eq!(
+                    serial.checksum, parallel.checksum,
+                    "serial and 4-worker campaign runs diverged"
+                );
+                c.push_str(&serial.checksum);
+                for cell in &serial.cells {
+                    c.push_u64(cell.cell as u64);
+                    c.push_str(&cell.record.checksum);
+                }
             }),
         });
     }

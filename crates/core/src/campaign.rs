@@ -1,0 +1,1601 @@
+//! Declarative study-grid campaigns (the §6 evaluation as data).
+//!
+//! The paper's evaluation is a grid of (SuT × workload × method × seeds ×
+//! cluster shapes); historically every figure binary hand-rolled that loop.
+//! A [`Campaign`] instead *declares* the grid — workloads on one axis,
+//! [`Arm`]s (method recipes) on another, `runs` independent seeds on the
+//! third — and [`CampaignRunner`] expands it into cells and executes them:
+//!
+//! - **Deterministic cells.** Each cell's randomness is a pure function of
+//!   the campaign seed and the cell's coordinates (the per-run seed is
+//!   derived by `hash_combine` exactly as the pre-campaign binaries did,
+//!   so migrated figures reproduce their historical output bit-for-bit).
+//!   No RNG state flows between cells, so execution order cannot matter.
+//! - **Work-stealing over cells.** The runner reuses the executor's
+//!   [`ExecutionMode`] vocabulary but parallelizes at the *cell* level:
+//!   worker threads claim whole cells from a shared cursor (the same
+//!   idiom as [`crate::executor`]'s lane pool). Trials inside a campaign
+//!   cell always run serially — the scaling axis is the grid itself, and
+//!   results are bit-identical for any worker count either way.
+//! - **A checksummed, resumable [`ResultStore`].** Every finished cell is
+//!   appended to a CSV journal with an FNV-1a digest over its rows;
+//!   [`ResultStore::finalize`] rewrites the file in cell order and emits a
+//!   JSON mirror. Re-running a half-finished campaign skips completed
+//!   cells and produces byte-identical files to an uninterrupted run.
+//!
+//! # Examples
+//!
+//! ```
+//! use tuna_core::campaign::{Arm, Campaign, CampaignRunner, Recipe, ResultStore};
+//! use tuna_core::experiment::Method;
+//!
+//! let campaign = Campaign::protocol(
+//!     "demo",
+//!     1,
+//!     vec![tuna_workloads::tpcc()],
+//!     &[("TUNA", Method::Tuna), ("Default", Method::DefaultConfig)],
+//! )
+//! .with_runs(1)
+//! .with_rounds(3);
+//! let mut store = ResultStore::in_memory(&campaign);
+//! let result = CampaignRunner::serial().run(&campaign, &mut store);
+//! assert_eq!(result.cells.len(), 2);
+//! assert!(result.complete);
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::aggregate::AggregationPolicy;
+use crate::baselines::run_naive_distributed;
+use crate::deploy::{default_worst_case_with, evaluate_deployment_with};
+use crate::executor::ExecutionMode;
+use crate::experiment::{Experiment, Method, OptimizerKind, RunSummary};
+use crate::pipeline::{TunaConfig, TunaPipeline, TuningResult};
+use crate::report::{summarize_method, MethodSummary};
+use tuna_cloudsim::Cluster;
+use tuna_optimizer::multifidelity::LadderParams;
+use tuna_optimizer::smac::SmacOptimizer;
+use tuna_stats::fnv::Checksum;
+use tuna_stats::rng::{hash_combine, Rng};
+use tuna_workloads::Workload;
+
+/// Store format version (first CSV header line and JSON `version`).
+pub const STORE_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Campaign declaration
+// ---------------------------------------------------------------------------
+
+/// A tuning-cluster shape override for pinned recipes: size plus the
+/// budget ladder that fits it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShape {
+    /// Worker-cluster size.
+    pub size: usize,
+    /// Budget ladder whose max rung fits the cluster.
+    pub ladder: LadderParams,
+}
+
+/// A pinned TUNA pipeline run on an explicit sample budget (the §6.5
+/// equal-cost basis and the ablation studies). The seed labels are part
+/// of the declaration so that studies migrated from pre-campaign binaries
+/// keep their historical derivations — and therefore their exact numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBudgetSpec {
+    /// Total sample budget (`run_until_samples`).
+    pub samples: usize,
+    /// Per-run seed label: `hash_combine(campaign.seed, seed_salt + run)`.
+    pub seed_salt: u64,
+    /// Pipeline RNG label: `Rng::seed_from(hash_combine(seed, rng_label))`.
+    pub rng_label: u64,
+    /// Deployment derivation label.
+    pub deploy_label: u64,
+    /// Aggregation-policy override (§4.4 ablation).
+    pub aggregation: Option<AggregationPolicy>,
+    /// Outlier-threshold override (§4.2 ablation).
+    pub outlier_threshold: Option<f64>,
+    /// Cluster-shape override (§5.1 ablation).
+    pub cluster: Option<ClusterShape>,
+}
+
+impl SampleBudgetSpec {
+    /// A plain equal-cost TUNA run with no config overrides.
+    pub fn new(samples: usize, seed_salt: u64, rng_label: u64, deploy_label: u64) -> Self {
+        SampleBudgetSpec {
+            samples,
+            seed_salt,
+            rng_label,
+            deploy_label,
+            aggregation: None,
+            outlier_threshold: None,
+            cluster: None,
+        }
+    }
+}
+
+/// A TUNA-vs-naive-distributed convergence pair (§6.5.2): both arms of
+/// one run share a single RNG stream (the pipeline consumes it first,
+/// naive distributed continues it), as the historical Figure 17 driver
+/// did, so the pair is one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceSpec {
+    /// Sample budget granted to each arm.
+    pub samples: usize,
+    /// Per-run seed label: `hash_combine(campaign.seed, seed_salt + run)`.
+    pub seed_salt: u64,
+    /// Shared RNG label.
+    pub rng_label: u64,
+}
+
+/// How one arm of the grid evaluates a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recipe {
+    /// The full §6 protocol via [`Experiment::run`]: tune with `method`,
+    /// deploy the winner on fresh VMs. The per-run seed is
+    /// `hash_combine(campaign.seed, run)`, or
+    /// `hash_combine(hash_combine(campaign.seed, salt), run)` when a salt
+    /// is pinned — exactly [`Experiment::run_many`]'s derivation.
+    Protocol {
+        /// Sampling methodology.
+        method: Method,
+        /// Optional extra seed label (pre-campaign binaries salted
+        /// per-arm seeds when mixing protocol and pinned arms).
+        seed_salt: Option<u64>,
+    },
+    /// A pinned sample-budget TUNA pipeline plus deployment.
+    SampleBudget(SampleBudgetSpec),
+    /// A TUNA + naive-distributed convergence pair.
+    Convergence(ConvergenceSpec),
+}
+
+impl Recipe {
+    /// The §6 protocol with the default seed derivation.
+    pub fn protocol(method: Method) -> Self {
+        Recipe::Protocol {
+            method,
+            seed_salt: None,
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            Recipe::Protocol { .. } => 1,
+            Recipe::SampleBudget(_) => 2,
+            Recipe::Convergence(_) => 3,
+        }
+    }
+}
+
+/// One arm of the grid: a display label plus the recipe that runs it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    /// Display label (also the CSV `arm` column; must not contain commas
+    /// or newlines).
+    pub label: String,
+    /// Cell recipe.
+    pub recipe: Recipe,
+}
+
+impl Arm {
+    /// Creates an arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label contains a comma or newline (it is a CSV cell).
+    pub fn new(label: impl Into<String>, recipe: Recipe) -> Self {
+        let label = label.into();
+        assert!(
+            !label.contains(',') && !label.contains('\n'),
+            "arm label {label:?} must not contain commas or newlines"
+        );
+        Arm { label, recipe }
+    }
+}
+
+/// A declarative study grid: workloads × arms × runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign name (store header + JSON; no commas/newlines).
+    pub name: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Independent tuning runs (seeds) per (workload, arm).
+    pub runs: usize,
+    /// Tuning rounds for [`Recipe::Protocol`] arms ([`Experiment::rounds`]).
+    pub rounds: usize,
+    /// Optimizer driving protocol and sample-budget arms.
+    pub optimizer: OptimizerKind,
+    /// Workload axis (each workload determines its SuT).
+    pub workloads: Vec<Workload>,
+    /// Method axis.
+    pub arms: Vec<Arm>,
+}
+
+impl Campaign {
+    /// A protocol-only campaign over `(label, method)` arms.
+    pub fn protocol(
+        name: impl Into<String>,
+        seed: u64,
+        workloads: Vec<Workload>,
+        methods: &[(&str, Method)],
+    ) -> Self {
+        Campaign {
+            name: name.into(),
+            seed,
+            runs: 1,
+            rounds: 96,
+            optimizer: OptimizerKind::Smac,
+            workloads,
+            arms: methods
+                .iter()
+                .map(|(label, m)| Arm::new(*label, Recipe::protocol(*m)))
+                .collect(),
+        }
+    }
+
+    /// Sets the number of runs per cell group.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the protocol arms' tuning rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the optimizer kind.
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Total number of grid cells.
+    pub fn n_cells(&self) -> usize {
+        self.workloads.len() * self.arms.len() * self.runs
+    }
+
+    /// Maps a cell index to `(workload, arm, run)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn coords(&self, cell: usize) -> (usize, usize, usize) {
+        assert!(cell < self.n_cells(), "cell {cell} out of range");
+        let per_workload = self.arms.len() * self.runs;
+        (
+            cell / per_workload,
+            (cell % per_workload) / self.runs,
+            cell % self.runs,
+        )
+    }
+
+    /// Digest over the campaign declaration. Stored in the CSV header and
+    /// JSON document; a resume against a store written by a *different*
+    /// declaration is refused instead of silently mixing grids.
+    pub fn digest(&self) -> String {
+        let mut c = Checksum::new();
+        c.push_str(&self.name);
+        c.push_u64(self.seed);
+        c.push_u64(self.runs as u64);
+        c.push_u64(self.rounds as u64);
+        c.push_u64(match self.optimizer {
+            OptimizerKind::Smac => 1,
+            OptimizerKind::Gp => 2,
+        });
+        for w in &self.workloads {
+            c.push_str(w.name);
+        }
+        for arm in &self.arms {
+            c.push_str(&arm.label);
+            c.push_u64(arm.recipe.tag());
+            match &arm.recipe {
+                Recipe::Protocol { method, seed_salt } => {
+                    c.push_str(method.name());
+                    if let Method::TraditionalExtended { samples }
+                    | Method::NaiveDistributed { samples } = method
+                    {
+                        c.push_u64(*samples as u64);
+                    }
+                    c.push_u64(seed_salt.map_or(u64::MAX, |s| s));
+                }
+                Recipe::SampleBudget(s) => {
+                    c.push_u64(s.samples as u64);
+                    c.push_u64(s.seed_salt);
+                    c.push_u64(s.rng_label);
+                    c.push_u64(s.deploy_label);
+                    c.push_u64(s.aggregation.map_or(0, |a| 1 + a as u64));
+                    c.push_f64(s.outlier_threshold.unwrap_or(f64::NEG_INFINITY));
+                    c.push_u64(s.cluster.is_some() as u64);
+                    if let Some(shape) = &s.cluster {
+                        c.push_u64(shape.size as u64);
+                        c.push_u64(shape.ladder.eta as u64);
+                        c.push_u64(shape.ladder.min_rung_size as u64);
+                        c.push_u64(shape.ladder.budgets.len() as u64);
+                        for &b in &shape.ladder.budgets {
+                            c.push_u64(b as u64);
+                        }
+                    }
+                }
+                Recipe::Convergence(s) => {
+                    c.push_u64(s.samples as u64);
+                    c.push_u64(s.seed_salt);
+                    c.push_u64(s.rng_label);
+                }
+            }
+        }
+        c.hex()
+    }
+
+    /// The experiment template for one workload (protocol defaults with
+    /// this campaign's rounds/optimizer; trial execution pinned to
+    /// `exec`). Figure binaries read protocol constants (deployment VM
+    /// counts, metric orientation) off this template.
+    pub fn experiment(&self, workload: usize, exec: ExecutionMode) -> Experiment {
+        let mut exp = Experiment::paper_default(self.workloads[workload].clone());
+        exp.rounds = self.rounds;
+        exp.optimizer = self.optimizer;
+        exp.exec = exec;
+        exp
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell results and rows
+// ---------------------------------------------------------------------------
+
+/// One scalar result row of a cell. Protocol and sample-budget cells
+/// produce exactly one row; convergence cells produce one per trace arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Row label (the arm label, or the trace arm for pairs).
+    pub label: String,
+    /// The derived per-run seed the cell actually used.
+    pub seed: u64,
+    /// Samples the tuning phase consumed (0 for the default config).
+    pub samples: u64,
+    /// Best reported tuning value (absent for the default config).
+    pub best: Option<f64>,
+    /// Deployment mean (absent for tuning-only rows).
+    pub mean: Option<f64>,
+    /// Deployment standard deviation.
+    pub std: Option<f64>,
+    /// Worst deployment value.
+    pub min: Option<f64>,
+    /// Best deployment value.
+    pub max: Option<f64>,
+    /// Crashed deployment runs.
+    pub crashes: Option<u64>,
+}
+
+impl CellRow {
+    fn fold(&self, c: &mut Checksum) {
+        fn opt_f64(c: &mut Checksum, v: Option<f64>) {
+            c.push_u64(v.is_some() as u64);
+            c.push_f64(v.unwrap_or(0.0));
+        }
+        c.push_str(&self.label);
+        c.push_u64(self.seed);
+        c.push_u64(self.samples);
+        opt_f64(c, self.best);
+        opt_f64(c, self.mean);
+        opt_f64(c, self.std);
+        opt_f64(c, self.min);
+        opt_f64(c, self.max);
+        c.push_u64(self.crashes.is_some() as u64);
+        c.push_u64(self.crashes.unwrap_or(0));
+    }
+
+    fn of_summary(label: &str, seed: u64, run: &RunSummary) -> CellRow {
+        CellRow {
+            label: label.to_string(),
+            seed,
+            samples: run.tuning.as_ref().map_or(0, |t| t.total_samples as u64),
+            best: run.tuning.as_ref().map(|t| t.best_value),
+            mean: Some(run.deployment.mean),
+            std: Some(run.deployment.std),
+            min: Some(run.deployment.five.min),
+            max: Some(run.deployment.five.max),
+            crashes: Some(run.deployment.crashes as u64),
+        }
+    }
+
+    fn of_trace(label: &str, seed: u64, result: &TuningResult) -> CellRow {
+        CellRow {
+            label: label.to_string(),
+            seed,
+            samples: result.total_samples as u64,
+            best: Some(result.best_value),
+            mean: None,
+            std: None,
+            min: None,
+            max: None,
+            crashes: None,
+        }
+    }
+}
+
+/// The durable record of one finished cell: its rows plus their FNV-1a
+/// digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Cell index within the campaign grid.
+    pub cell: usize,
+    /// Result rows.
+    pub rows: Vec<CellRow>,
+    /// FNV-1a digest over the rows ([`CellRecord::compute_checksum`]).
+    pub checksum: String,
+}
+
+impl CellRecord {
+    fn new(cell: usize, rows: Vec<CellRow>) -> Self {
+        let checksum = Self::compute_checksum(&rows);
+        CellRecord {
+            cell,
+            rows,
+            checksum,
+        }
+    }
+
+    /// Recomputes the digest from the rows (resume verifies stored
+    /// records against this).
+    pub fn compute_checksum(rows: &[CellRow]) -> String {
+        let mut c = Checksum::new();
+        for row in rows {
+            row.fold(&mut c);
+        }
+        c.hex()
+    }
+}
+
+/// In-memory payload of an executed cell — the rich results the figure
+/// binaries post-process (deployment distributions, convergence traces).
+/// Cells restored from a store have no payload.
+#[derive(Debug, Clone)]
+pub enum CellPayload {
+    /// A tune-plus-deploy outcome.
+    Run(RunSummary),
+    /// A TUNA / naive-distributed convergence pair.
+    Pair {
+        /// The TUNA pipeline's trace.
+        tuna: TuningResult,
+        /// The naive-distributed trace.
+        naive: TuningResult,
+    },
+}
+
+/// One cell of a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell index.
+    pub cell: usize,
+    /// Workload axis index.
+    pub workload: usize,
+    /// Arm axis index.
+    pub arm: usize,
+    /// Run (seed) index.
+    pub run: usize,
+    /// Durable record (rows + checksum).
+    pub record: CellRecord,
+    /// Rich in-memory results; `None` when restored from a store.
+    pub payload: Option<CellPayload>,
+    /// Whether the cell was skipped because the store already had it.
+    pub resumed: bool,
+}
+
+/// A finished (or truncated) campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign declaration digest.
+    pub digest: String,
+    /// Cells in grid order. Truncated runs (a `cell_limit`) only contain
+    /// the cells that have records.
+    pub cells: Vec<CellResult>,
+    /// Whether every grid cell has a record.
+    pub complete: bool,
+    /// Campaign-level checksum: FNV-1a over per-cell checksums in grid
+    /// order (only meaningful when `complete`).
+    pub checksum: String,
+    /// Cells executed this run.
+    pub executed: usize,
+    /// Cells restored from the store.
+    pub resumed: usize,
+}
+
+impl CampaignResult {
+    fn find(&self, workload: usize, arm: usize) -> impl Iterator<Item = &CellResult> {
+        self.cells
+            .iter()
+            .filter(move |c| c.workload == workload && c.arm == arm)
+    }
+
+    /// The run summaries of a protocol/sample-budget cell group, in run
+    /// order. `None` if any cell is missing or carries no payload (e.g.
+    /// restored from a store).
+    pub fn run_summaries(&self, workload: usize, arm: usize) -> Option<Vec<&RunSummary>> {
+        let mut out = Vec::new();
+        for cell in self.find(workload, arm) {
+            match &cell.payload {
+                Some(CellPayload::Run(summary)) => out.push(summary),
+                _ => return None,
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// All rows of a cell group, in cell (and therefore run) order.
+    pub fn group_rows(&self, workload: usize, arm: usize) -> Vec<&CellRow> {
+        self.find(workload, arm)
+            .flat_map(|c| c.record.rows.iter())
+            .collect()
+    }
+
+    /// [`summarize_method`] over a cell group. Computed from payloads when
+    /// the cells ran in-process; falls back to the stored rows (which
+    /// serialize floats losslessly) for resumed cells, so a fully resumed
+    /// protocol campaign prints bit-identical tables.
+    pub fn method_summary(&self, workload: usize, arm: usize) -> Option<MethodSummary> {
+        if let Some(runs) = self.run_summaries(workload, arm) {
+            return Some(summarize_method(
+                &runs.into_iter().cloned().collect::<Vec<_>>(),
+            ));
+        }
+        let rows = self.group_rows(workload, arm);
+        if rows.is_empty() {
+            return None;
+        }
+        let mut means = Vec::with_capacity(rows.len());
+        let mut stds = Vec::with_capacity(rows.len());
+        let mut worst = f64::INFINITY;
+        let mut best = f64::NEG_INFINITY;
+        let mut crashes = 0usize;
+        for row in &rows {
+            means.push(row.mean?);
+            stds.push(row.std?);
+            worst = worst.min(row.min?);
+            best = best.max(row.max?);
+            crashes += row.crashes? as usize;
+        }
+        Some(MethodSummary {
+            mean_of_means: tuna_stats::summary::mean(&means),
+            mean_std: tuna_stats::summary::mean(&stds),
+            worst,
+            best,
+            crashes,
+            n_runs: rows.len(),
+        })
+    }
+
+    /// The convergence pairs of an arm, in run order.
+    pub fn pairs(
+        &self,
+        workload: usize,
+        arm: usize,
+    ) -> Option<Vec<(&TuningResult, &TuningResult)>> {
+        let mut out = Vec::new();
+        for cell in self.find(workload, arm) {
+            match &cell.payload {
+                Some(CellPayload::Pair { tuna, naive }) => out.push((tuna, naive)),
+                _ => return None,
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result store
+// ---------------------------------------------------------------------------
+
+/// Streamed, checksummed cell storage with resume.
+///
+/// Backed by a CSV file when opened with [`ResultStore::open`]: finished
+/// cells are appended as they complete (in completion order — the
+/// journal), and [`ResultStore::finalize`] rewrites the file sorted by
+/// cell index plus a JSON mirror next to it. Because rows are pure
+/// functions of the campaign declaration, an interrupted-then-resumed
+/// campaign finalizes to byte-identical files.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    records: BTreeMap<usize, CellRecord>,
+    campaign_digest: String,
+    header: String,
+}
+
+impl ResultStore {
+    /// A store with no backing file (no resume; checksums only).
+    pub fn in_memory(campaign: &Campaign) -> Self {
+        ResultStore {
+            path: None,
+            records: BTreeMap::new(),
+            campaign_digest: campaign.digest(),
+            header: Self::header_line(campaign),
+        }
+    }
+
+    fn header_line(campaign: &Campaign) -> String {
+        format!(
+            "# tuna-campaign v{STORE_VERSION} name={} seed={} cells={} digest={}",
+            campaign.name,
+            campaign.seed,
+            campaign.n_cells(),
+            campaign.digest()
+        )
+    }
+
+    /// Opens (or creates) a CSV-backed store for `campaign` at `path`.
+    /// An existing file is parsed and its cells are skipped on the next
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the existing file belongs to a different
+    /// campaign declaration (digest mismatch), is malformed, or fails a
+    /// per-cell checksum re-verification.
+    pub fn open(path: impl Into<PathBuf>, campaign: &Campaign) -> Result<Self, String> {
+        let path = path.into();
+        let mut store = ResultStore {
+            path: Some(path.clone()),
+            records: BTreeMap::new(),
+            campaign_digest: campaign.digest(),
+            header: Self::header_line(campaign),
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            store.load(&text, campaign)?;
+        } else if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        Ok(store)
+    }
+
+    fn load(&mut self, text: &str, campaign: &Campaign) -> Result<(), String> {
+        let mut pending: BTreeMap<usize, (Vec<CellRow>, String)> = BTreeMap::new();
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line == CSV_COLUMNS {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                saw_header = true;
+                let digest = rest
+                    .split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("digest="))
+                    .ok_or_else(|| format!("line {}: header lacks digest", lineno + 1))?;
+                if digest != self.campaign_digest {
+                    return Err(format!(
+                        "store digest {digest} does not match campaign '{}' digest {} — \
+                         the file belongs to a different declaration; move it aside to start over",
+                        campaign.name, self.campaign_digest
+                    ));
+                }
+                continue;
+            }
+            let (cell, row, checksum) =
+                parse_csv_row(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if cell >= campaign.n_cells() {
+                return Err(format!("line {}: cell {cell} out of range", lineno + 1));
+            }
+            let entry = pending
+                .entry(cell)
+                .or_insert_with(|| (Vec::new(), checksum.clone()));
+            if entry.1 != checksum {
+                return Err(format!(
+                    "line {}: cell {cell} rows disagree on their checksum",
+                    lineno + 1
+                ));
+            }
+            entry.0.push(row);
+        }
+        // Rows without a verified header could belong to any declaration
+        // whose cell indices happen to fit — refuse rather than resume
+        // foreign results.
+        if !pending.is_empty() && !saw_header {
+            return Err(format!(
+                "store has data rows but no '# tuna-campaign ... digest=' header, so it \
+                 cannot be verified against campaign '{}'; move it aside to start over",
+                campaign.name
+            ));
+        }
+        for (cell, (rows, checksum)) in pending {
+            let recomputed = CellRecord::compute_checksum(&rows);
+            if recomputed != checksum {
+                return Err(format!(
+                    "cell {cell}: stored checksum {checksum} != recomputed {recomputed} \
+                     (corrupt or hand-edited store)"
+                ));
+            }
+            self.records.insert(
+                cell,
+                CellRecord {
+                    cell,
+                    rows,
+                    checksum,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// The backing CSV path, if any.
+    pub fn csv_path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The JSON mirror path, if file-backed.
+    pub fn json_path(&self) -> Option<PathBuf> {
+        self.path.as_ref().map(|p| p.with_extension("json"))
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no cells have completed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record of a completed cell.
+    pub fn get(&self, cell: usize) -> Option<&CellRecord> {
+        self.records.get(&cell)
+    }
+
+    /// Records a finished cell, appending it to the journal when
+    /// file-backed. The journal line order follows completion order;
+    /// [`ResultStore::finalize`] canonicalizes it.
+    fn record(&mut self, campaign: &Campaign, record: CellRecord) {
+        if let Some(path) = &self.path {
+            let mut text = String::new();
+            // Write the header before the first row of a fresh journal —
+            // including a pre-created empty file, which has no header yet
+            // (journals without one are refused on load).
+            let file_is_empty = path.metadata().map_or(true, |m| m.len() == 0);
+            if self.records.is_empty() && file_is_empty {
+                text.push_str(&self.header);
+                text.push('\n');
+                text.push_str(CSV_COLUMNS);
+                text.push('\n');
+            }
+            write_csv_record(&mut text, campaign, &record);
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = f.write_all(text.as_bytes());
+            }
+        }
+        self.records.insert(record.cell, record);
+    }
+
+    /// Campaign-level checksum: FNV-1a over per-cell checksums in cell
+    /// order.
+    pub fn campaign_checksum(&self) -> String {
+        let mut c = Checksum::new();
+        for record in self.records.values() {
+            c.push_u64(record.cell as u64);
+            c.push_str(&record.checksum);
+        }
+        c.hex()
+    }
+
+    /// Rewrites the CSV sorted by cell index and writes the JSON mirror.
+    /// Idempotent; called by the runner after every (possibly truncated)
+    /// run so interrupted stores stay canonical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn finalize(&self, campaign: &Campaign) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut csv = String::new();
+        csv.push_str(&self.header);
+        csv.push('\n');
+        csv.push_str(CSV_COLUMNS);
+        csv.push('\n');
+        for record in self.records.values() {
+            write_csv_record(&mut csv, campaign, record);
+        }
+        // Atomic replace (write-temp-then-rename): an interrupt during
+        // finalize must not destroy the journal of completed cells —
+        // surviving interrupts is this store's whole point.
+        write_atomic(path, &csv)?;
+        let json_path = self.json_path().expect("file-backed store");
+        write_atomic(&json_path, &self.to_json(campaign))?;
+        Ok(())
+    }
+
+    /// Serializes the store to the canonical JSON layout (the PR-3
+    /// hand-rolled style: fixed schema, `{:?}` floats for lossless
+    /// round-trips, no serde).
+    pub fn to_json(&self, campaign: &Campaign) -> String {
+        fn opt_f64(v: Option<f64>) -> String {
+            match v {
+                None => "null".to_string(),
+                Some(x) => format!("{x:?}"),
+            }
+        }
+        let complete = self.records.len() == campaign.n_cells();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {STORE_VERSION},\n"));
+        out.push_str(&format!("  \"name\": {},\n", json_quote(&campaign.name)));
+        out.push_str(&format!("  \"seed\": {},\n", campaign.seed));
+        out.push_str(&format!("  \"digest\": \"{}\",\n", self.campaign_digest));
+        out.push_str(&format!("  \"cells\": {},\n", campaign.n_cells()));
+        out.push_str(&format!("  \"completed\": {},\n", self.records.len()));
+        out.push_str(&format!(
+            "  \"checksum\": {},\n",
+            if complete {
+                format!("\"{}\"", self.campaign_checksum())
+            } else {
+                "null".to_string()
+            }
+        ));
+        out.push_str("  \"rows\": [\n");
+        let total_rows: usize = self.records.values().map(|r| r.rows.len()).sum();
+        let mut i = 0usize;
+        for record in self.records.values() {
+            let (w, a, run) = campaign.coords(record.cell);
+            for row in &record.rows {
+                i += 1;
+                out.push_str(&format!(
+                    "    {{\"cell\": {}, \"workload\": {}, \"arm\": {}, \
+                     \"label\": {}, \"run\": {}, \"seed\": {}, \"samples\": {}, \
+                     \"best\": {}, \"mean\": {}, \"std\": {}, \"min\": {}, \"max\": {}, \
+                     \"crashes\": {}, \"checksum\": \"{}\"}}{}\n",
+                    record.cell,
+                    json_quote(campaign.workloads[w].name),
+                    json_quote(&campaign.arms[a].label),
+                    json_quote(&row.label),
+                    run,
+                    row.seed,
+                    row.samples,
+                    opt_f64(row.best),
+                    opt_f64(row.mean),
+                    opt_f64(row.std),
+                    opt_f64(row.min),
+                    opt_f64(row.max),
+                    row.crashes.map_or("null".to_string(), |c| c.to_string()),
+                    record.checksum,
+                    if i == total_rows { "" } else { "," }
+                ));
+            }
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Writes `text` to `path` via a sibling temp file plus rename, so an
+/// interrupt mid-write leaves the previous file intact.
+fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        )
+    })
+}
+
+/// Quotes a string as a JSON literal with the escapes our identifiers
+/// can contain (labels exclude commas/newlines but not quotes).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+const CSV_COLUMNS: &str =
+    "cell,workload,arm,label,run,seed,samples,best,mean,std,min,max,crashes,checksum";
+
+fn write_csv_record(out: &mut String, campaign: &Campaign, record: &CellRecord) {
+    fn opt_f64(v: Option<f64>) -> String {
+        v.map_or(String::new(), |x| format!("{x:?}"))
+    }
+    let (w, a, run) = campaign.coords(record.cell);
+    for row in &record.rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            record.cell,
+            campaign.workloads[w].name,
+            campaign.arms[a].label,
+            row.label,
+            run,
+            row.seed,
+            row.samples,
+            opt_f64(row.best),
+            opt_f64(row.mean),
+            opt_f64(row.std),
+            opt_f64(row.min),
+            opt_f64(row.max),
+            row.crashes.map_or(String::new(), |c| c.to_string()),
+            record.checksum,
+        ));
+    }
+}
+
+fn parse_csv_row(line: &str) -> Result<(usize, CellRow, String), String> {
+    fn opt_f64(s: &str) -> Result<Option<f64>, String> {
+        if s.is_empty() {
+            Ok(None)
+        } else {
+            s.parse().map(Some).map_err(|_| format!("bad float {s:?}"))
+        }
+    }
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 14 {
+        return Err(format!("expected 14 fields, found {}", fields.len()));
+    }
+    let cell: usize = fields[0]
+        .parse()
+        .map_err(|_| format!("bad cell index {:?}", fields[0]))?;
+    let row = CellRow {
+        label: fields[3].to_string(),
+        seed: fields[5]
+            .parse()
+            .map_err(|_| format!("bad seed {:?}", fields[5]))?,
+        samples: fields[6]
+            .parse()
+            .map_err(|_| format!("bad samples {:?}", fields[6]))?,
+        best: opt_f64(fields[7])?,
+        mean: opt_f64(fields[8])?,
+        std: opt_f64(fields[9])?,
+        min: opt_f64(fields[10])?,
+        max: opt_f64(fields[11])?,
+        crashes: if fields[12].is_empty() {
+            None
+        } else {
+            Some(
+                fields[12]
+                    .parse()
+                    .map_err(|_| format!("bad crashes {:?}", fields[12]))?,
+            )
+        },
+    };
+    Ok((cell, row, fields[13].to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Executes a campaign's cells, work-stealing whole cells across worker
+/// threads.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignRunner {
+    /// Cell-level execution mode: [`ExecutionMode::Serial`] runs cells in
+    /// grid order on the calling thread; `Parallel { workers }` lets up to
+    /// `workers` threads claim cells from a shared cursor. Results and
+    /// store contents are bit-identical either way.
+    pub mode: ExecutionMode,
+    /// Stop after this many *newly executed* cells (checkpointing /
+    /// interrupt simulation). `None` runs the whole grid.
+    pub cell_limit: Option<usize>,
+}
+
+impl CampaignRunner {
+    /// A serial runner.
+    pub fn serial() -> Self {
+        CampaignRunner {
+            mode: ExecutionMode::Serial,
+            cell_limit: None,
+        }
+    }
+
+    /// A runner whose cell-level worker count comes from `TUNA_WORKERS`
+    /// (the same knob the trial executor reads; campaigns scale across
+    /// cells instead of within rounds).
+    pub fn from_env() -> Self {
+        CampaignRunner {
+            mode: ExecutionMode::from_env(),
+            cell_limit: None,
+        }
+    }
+
+    /// A runner with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        CampaignRunner {
+            mode: if workers > 1 {
+                ExecutionMode::Parallel { workers }
+            } else {
+                ExecutionMode::Serial
+            },
+            cell_limit: None,
+        }
+    }
+
+    /// Caps the number of cells executed this run.
+    pub fn with_cell_limit(mut self, limit: usize) -> Self {
+        self.cell_limit = Some(limit);
+        self
+    }
+
+    /// Runs every cell of `campaign` that `store` does not already hold,
+    /// streams finished cells into the store, finalizes it, and returns
+    /// the combined result in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's recipe is inconsistent with the grid (e.g. a
+    /// ladder that exceeds its cluster), or (propagated) if a SuT panics.
+    pub fn run(&self, campaign: &Campaign, store: &mut ResultStore) -> CampaignResult {
+        assert_eq!(
+            store.campaign_digest,
+            campaign.digest(),
+            "store was opened for a different campaign declaration"
+        );
+        let n_cells = campaign.n_cells();
+        let pending: Vec<usize> = (0..n_cells).filter(|i| store.get(*i).is_none()).collect();
+        let to_run: Vec<usize> = match self.cell_limit {
+            Some(limit) => pending.iter().copied().take(limit).collect(),
+            None => pending,
+        };
+        let resumed_before = store.len();
+
+        // Trials inside campaign cells always execute serially: the
+        // campaign's scaling axis is the grid, and the executor's
+        // serial-equivalence contract makes this numerically irrelevant.
+        let inner = ExecutionMode::Serial;
+        let workers = self.mode.workers().min(to_run.len().max(1));
+        let executed: Vec<(usize, CellRecord, CellPayload)> = if workers <= 1 {
+            let mut out = Vec::with_capacity(to_run.len());
+            for &cell in &to_run {
+                let (record, payload) = execute_cell(campaign, cell, inner);
+                store.record(campaign, record.clone());
+                out.push((cell, record, payload));
+            }
+            out
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let shared_store = Mutex::new(&mut *store);
+            let mut harvests: Vec<Vec<(usize, CellRecord, CellPayload)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let cursor = &cursor;
+                            let to_run = &to_run;
+                            let shared_store = &shared_store;
+                            scope.spawn(move || {
+                                let mut produced = Vec::new();
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&cell) = to_run.get(i) else {
+                                        break;
+                                    };
+                                    let (record, payload) = execute_cell(campaign, cell, inner);
+                                    shared_store
+                                        .lock()
+                                        .expect("store mutex poisoned")
+                                        .record(campaign, record.clone());
+                                    produced.push((cell, record, payload));
+                                }
+                                produced
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("campaign worker panicked"))
+                        .collect()
+                });
+            let mut out: Vec<(usize, CellRecord, CellPayload)> = Vec::with_capacity(to_run.len());
+            for harvest in &mut harvests {
+                out.append(harvest);
+            }
+            out
+        };
+        let executed_count = executed.len();
+        let mut payloads: BTreeMap<usize, CellPayload> = BTreeMap::new();
+        for (cell, _, payload) in executed {
+            payloads.insert(cell, payload);
+        }
+
+        if let Err(e) = store.finalize(campaign) {
+            eprintln!("campaign '{}': store finalize failed: {e}", campaign.name);
+        }
+
+        let mut cells = Vec::with_capacity(store.len());
+        for (&cell, record) in &store.records {
+            let (workload, arm, run) = campaign.coords(cell);
+            let payload = payloads.remove(&cell);
+            let resumed = payload.is_none();
+            cells.push(CellResult {
+                cell,
+                workload,
+                arm,
+                run,
+                record: record.clone(),
+                payload,
+                resumed,
+            });
+        }
+        let complete = cells.len() == n_cells;
+        CampaignResult {
+            digest: campaign.digest(),
+            checksum: store.campaign_checksum(),
+            cells,
+            complete,
+            executed: executed_count,
+            resumed: resumed_before,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution
+// ---------------------------------------------------------------------------
+
+/// Runs one cell. Pure function of `(campaign, cell)` — all randomness is
+/// derived from the campaign seed and the cell coordinates, never from
+/// shared mutable state, so any execution order (and any worker count)
+/// produces identical records.
+fn execute_cell(
+    campaign: &Campaign,
+    cell: usize,
+    inner: ExecutionMode,
+) -> (CellRecord, CellPayload) {
+    let (w, a, run) = campaign.coords(cell);
+    let arm = &campaign.arms[a];
+    let exp = campaign.experiment(w, inner);
+    match &arm.recipe {
+        Recipe::Protocol { method, seed_salt } => {
+            let base = match seed_salt {
+                None => campaign.seed,
+                Some(salt) => hash_combine(campaign.seed, *salt),
+            };
+            let seed = hash_combine(base, run as u64);
+            let summary = exp.run(*method, seed);
+            let rows = vec![CellRow::of_summary(&arm.label, seed, &summary)];
+            (CellRecord::new(cell, rows), CellPayload::Run(summary))
+        }
+        Recipe::SampleBudget(spec) => {
+            let seed = hash_combine(campaign.seed, spec.seed_salt + run as u64);
+            let summary = run_sample_budget(&exp, spec, seed, inner);
+            let rows = vec![CellRow::of_summary(&arm.label, seed, &summary)];
+            (CellRecord::new(cell, rows), CellPayload::Run(summary))
+        }
+        Recipe::Convergence(spec) => {
+            let seed = hash_combine(campaign.seed, spec.seed_salt + run as u64);
+            let (tuna, naive) = run_convergence(&exp, spec, seed, inner);
+            let rows = vec![
+                CellRow::of_trace("TUNA", seed, &tuna),
+                CellRow::of_trace("naive", seed, &naive),
+            ];
+            (
+                CellRecord::new(cell, rows),
+                CellPayload::Pair { tuna, naive },
+            )
+        }
+    }
+}
+
+/// The pinned equal-cost/ablation pipeline: the §6.5.1 driver loop with
+/// the spec's overrides applied, then a deployment of the winner.
+fn run_sample_budget(
+    exp: &Experiment,
+    spec: &SampleBudgetSpec,
+    seed: u64,
+    inner: ExecutionMode,
+) -> RunSummary {
+    let sut = exp.make_sut();
+    let cluster_size = spec.cluster.as_ref().map_or(exp.cluster_size, |c| c.size);
+    let ladder = spec
+        .cluster
+        .as_ref()
+        .map_or_else(LadderParams::paper_default, |c| c.ladder.clone());
+    let base = Cluster::new(cluster_size, exp.sku.clone(), exp.region.clone(), seed);
+    let mut rng = Rng::seed_from(hash_combine(seed, spec.rng_label));
+    let crash_penalty = default_worst_case_with(inner, sut.as_ref(), &exp.workload, &base, &rng);
+
+    let mut cfg = TunaConfig::paper_default(crash_penalty);
+    cfg.mode = inner;
+    cfg.cluster_size = cluster_size;
+    cfg.ladder = ladder.clone();
+    if let Some(aggregation) = spec.aggregation {
+        cfg.aggregation = aggregation;
+    }
+    if let Some(threshold) = spec.outlier_threshold {
+        cfg.outlier_threshold = threshold;
+    }
+    let optimizer = SmacOptimizer::multi_fidelity(
+        sut.space().clone(),
+        exp.objective(),
+        exp.smac.clone(),
+        ladder,
+    );
+    let mut pipeline = TunaPipeline::new(
+        cfg,
+        sut.as_ref(),
+        &exp.workload,
+        Box::new(optimizer),
+        base.clone(),
+    );
+    pipeline.run_until_samples(spec.samples, &mut rng);
+    let result = pipeline.finish();
+    let deployment = evaluate_deployment_with(
+        inner,
+        sut.as_ref(),
+        &exp.workload,
+        &result.best_config,
+        &base,
+        spec.deploy_label,
+        exp.deploy_vms,
+        exp.deploy_repeats,
+        crash_penalty,
+        &rng,
+    );
+    RunSummary {
+        method: "campaign",
+        best_config: result.best_config.clone(),
+        tuning: Some(result),
+        deployment,
+    }
+}
+
+/// The §6.5.2 convergence pair: a TUNA pipeline and a naive-distributed
+/// run sharing one RNG stream (pipeline first), as the historical
+/// Figure 17 driver derived them.
+fn run_convergence(
+    exp: &Experiment,
+    spec: &ConvergenceSpec,
+    seed: u64,
+    inner: ExecutionMode,
+) -> (TuningResult, TuningResult) {
+    let sut = exp.make_sut();
+    let base = Cluster::new(exp.cluster_size, exp.sku.clone(), exp.region.clone(), seed);
+    let mut rng = Rng::seed_from(hash_combine(seed, spec.rng_label));
+    let crash_penalty = default_worst_case_with(inner, sut.as_ref(), &exp.workload, &base, &rng);
+
+    let optimizer = SmacOptimizer::multi_fidelity(
+        sut.space().clone(),
+        exp.objective(),
+        exp.smac.clone(),
+        LadderParams::paper_default(),
+    );
+    let mut cfg = TunaConfig::paper_default(crash_penalty);
+    cfg.mode = inner;
+    let mut pipeline = TunaPipeline::new(
+        cfg,
+        sut.as_ref(),
+        &exp.workload,
+        Box::new(optimizer),
+        base.clone(),
+    );
+    pipeline.run_until_samples(spec.samples, &mut rng);
+    let tuna = pipeline.finish();
+
+    let naive_opt = SmacOptimizer::new(sut.space().clone(), exp.objective(), exp.smac.clone());
+    let naive = run_naive_distributed(
+        inner,
+        sut.as_ref(),
+        &exp.workload,
+        Box::new(naive_opt),
+        base,
+        spec.samples,
+        crash_penalty,
+        &mut rng,
+    );
+    (tuna, naive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign(name: &str) -> Campaign {
+        Campaign::protocol(
+            name,
+            5,
+            vec![tuna_workloads::tpcc()],
+            &[("TUNA", Method::Tuna), ("Default", Method::DefaultConfig)],
+        )
+        .with_runs(2)
+        .with_rounds(3)
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let c = tiny_campaign("coords");
+        assert_eq!(c.n_cells(), 4);
+        assert_eq!(c.coords(0), (0, 0, 0));
+        assert_eq!(c.coords(1), (0, 0, 1));
+        assert_eq!(c.coords(2), (0, 1, 0));
+        assert_eq!(c.coords(3), (0, 1, 1));
+    }
+
+    #[test]
+    fn digest_tracks_declaration() {
+        let a = tiny_campaign("digest");
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.runs = 3;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.arms[0] = Arm::new(
+            "TUNA",
+            Recipe::Protocol {
+                method: Method::Tuna,
+                seed_salt: Some(7),
+            },
+        );
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain commas")]
+    fn comma_labels_rejected() {
+        Arm::new("a,b", Recipe::protocol(Method::Tuna));
+    }
+
+    #[test]
+    fn protocol_cells_match_run_many() {
+        let campaign = tiny_campaign("protocol");
+        let mut store = ResultStore::in_memory(&campaign);
+        let result = CampaignRunner::serial().run(&campaign, &mut store);
+        assert!(result.complete);
+        assert_eq!(result.executed, 4);
+
+        // Cell (0, arm 0, run 1) must equal Experiment::run_many's second
+        // run bit-for-bit.
+        let mut exp = Experiment::paper_default(tuna_workloads::tpcc());
+        exp.rounds = 3;
+        exp.exec = ExecutionMode::Serial;
+        let direct = exp.run_many(Method::Tuna, 2, 5);
+        let summaries = result.run_summaries(0, 0).expect("payloads present");
+        assert_eq!(summaries.len(), 2);
+        for (got, want) in summaries.iter().zip(&direct) {
+            assert_eq!(got.deployment.values, want.deployment.values);
+            assert_eq!(got.best_config, want.best_config);
+        }
+        let ms = result.method_summary(0, 0).unwrap();
+        assert!(ms.n_runs == 2 && ms.mean_of_means > 0.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_checksums_match() {
+        let campaign = tiny_campaign("modes");
+        let mut serial_store = ResultStore::in_memory(&campaign);
+        let serial = CampaignRunner::serial().run(&campaign, &mut serial_store);
+        for workers in [2, 4] {
+            let mut par_store = ResultStore::in_memory(&campaign);
+            let par = CampaignRunner::with_workers(workers).run(&campaign, &mut par_store);
+            assert_eq!(serial.checksum, par.checksum, "workers={workers}");
+            for (s, p) in serial.cells.iter().zip(&par.cells) {
+                assert_eq!(s.record, p.record, "workers={workers} cell {}", s.cell);
+            }
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_and_resume() {
+        let campaign = tiny_campaign("resume");
+        let dir = std::env::temp_dir().join(format!("tuna-campaign-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("resume/campaign.csv");
+
+        // Uninterrupted reference.
+        let ref_path = dir.join("reference/campaign.csv");
+        let mut ref_store = ResultStore::open(&ref_path, &campaign).unwrap();
+        let reference = CampaignRunner::serial().run(&campaign, &mut ref_store);
+
+        // Interrupted after 1 cell, then resumed.
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        let partial = CampaignRunner::serial()
+            .with_cell_limit(1)
+            .run(&campaign, &mut store);
+        assert!(!partial.complete);
+        assert_eq!(partial.executed, 1);
+        drop(store);
+
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        assert_eq!(store.len(), 1);
+        let resumed = CampaignRunner::serial().run(&campaign, &mut store);
+        assert!(resumed.complete);
+        assert_eq!(resumed.executed, 3);
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.checksum, reference.checksum);
+
+        // Byte-identical files.
+        let a = std::fs::read_to_string(&ref_path).unwrap();
+        let b = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(a, b, "resumed CSV differs from uninterrupted CSV");
+        let aj = std::fs::read_to_string(ref_path.with_extension("json")).unwrap();
+        let bj = std::fs::read_to_string(path.with_extension("json")).unwrap();
+        assert_eq!(aj, bj, "resumed JSON differs from uninterrupted JSON");
+
+        // A fully resumed campaign executes nothing and keeps the files.
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        let replay = CampaignRunner::serial().run(&campaign, &mut store);
+        assert!(replay.complete);
+        assert_eq!(replay.executed, 0);
+        assert_eq!(replay.checksum, reference.checksum);
+        assert!(replay.cells.iter().all(|c| c.resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_store_is_refused() {
+        let campaign = tiny_campaign("original");
+        let dir =
+            std::env::temp_dir().join(format!("tuna-campaign-mismatch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.csv");
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        CampaignRunner::serial()
+            .with_cell_limit(1)
+            .run(&campaign, &mut store);
+        drop(store);
+
+        let other = tiny_campaign("original").with_runs(3);
+        let err = ResultStore::open(&path, &other).unwrap_err();
+        assert!(err.contains("different declaration"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_is_refused() {
+        let campaign = tiny_campaign("corrupt");
+        let dir =
+            std::env::temp_dir().join(format!("tuna-campaign-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.csv");
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        CampaignRunner::serial()
+            .with_cell_limit(1)
+            .run(&campaign, &mut store);
+        drop(store);
+
+        // The arm and label columns are both "TUNA"; only the label
+        // feeds the cell checksum, so tamper the adjacent pair.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("TUNA,TUNA", "TUNA,TUNX", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        let err = ResultStore::open(&path, &campaign).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headerless_journal_is_refused_but_empty_precreated_file_works() {
+        let campaign = tiny_campaign("headerless");
+        let dir =
+            std::env::temp_dir().join(format!("tuna-campaign-headerless-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A pre-created *empty* file still gets a header on first record.
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "").unwrap();
+        let mut store = ResultStore::open(&empty, &campaign).unwrap();
+        CampaignRunner::serial()
+            .with_cell_limit(1)
+            .run(&campaign, &mut store);
+        drop(store);
+        let text = std::fs::read_to_string(&empty).unwrap();
+        assert!(text.starts_with("# tuna-campaign"), "{text}");
+        assert!(ResultStore::open(&empty, &campaign).is_ok());
+
+        // Data rows with the header stripped cannot be verified against
+        // any declaration and must be refused.
+        let headerless: String = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let stripped = dir.join("stripped.csv");
+        std::fs::write(&stripped, headerless).unwrap();
+        let err = ResultStore::open(&stripped, &campaign).unwrap_err();
+        assert!(err.contains("no '# tuna-campaign"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_mirror_escapes_labels() {
+        assert_eq!(super::json_quote("plain"), "\"plain\"");
+        assert_eq!(super::json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(super::json_quote("tab\there"), "\"tab\\there\"");
+
+        let mut campaign = tiny_campaign("json-escape");
+        campaign.name = "quoted \"name\"".to_string();
+        campaign.runs = 1;
+        campaign.arms = vec![Arm::new(
+            "p=\"0.5\"",
+            Recipe::protocol(Method::DefaultConfig),
+        )];
+        let mut store = ResultStore::in_memory(&campaign);
+        CampaignRunner::serial().run(&campaign, &mut store);
+        let json = store.to_json(&campaign);
+        assert!(json.contains("\"name\": \"quoted \\\"name\\\"\""), "{json}");
+        assert!(json.contains("\"arm\": \"p=\\\"0.5\\\"\""), "{json}");
+    }
+
+    #[test]
+    fn digest_tracks_ladder_shape() {
+        let spec = |eta: usize, min_rung: usize| {
+            let mut c = tiny_campaign("ladder");
+            c.arms = vec![Arm::new(
+                "shape",
+                Recipe::SampleBudget(SampleBudgetSpec {
+                    cluster: Some(ClusterShape {
+                        size: 5,
+                        ladder: LadderParams {
+                            budgets: vec![1, 2, 5],
+                            eta,
+                            min_rung_size: min_rung,
+                        },
+                    }),
+                    ..SampleBudgetSpec::new(25, 1, 2, 3)
+                }),
+            )];
+            c
+        };
+        assert_eq!(spec(3, 3).digest(), spec(3, 3).digest());
+        assert_ne!(spec(3, 3).digest(), spec(2, 3).digest());
+        assert_ne!(spec(3, 3).digest(), spec(3, 5).digest());
+    }
+
+    #[test]
+    fn convergence_cells_produce_pairs() {
+        let mut campaign = tiny_campaign("pairs");
+        campaign.arms = vec![Arm::new(
+            "TUNA vs naive",
+            Recipe::Convergence(ConvergenceSpec {
+                samples: 30,
+                seed_salt: 700,
+                rng_label: 3,
+            }),
+        )];
+        campaign.runs = 1;
+        let mut store = ResultStore::in_memory(&campaign);
+        let result = CampaignRunner::serial().run(&campaign, &mut store);
+        assert!(result.complete);
+        let pairs = result.pairs(0, 0).expect("pair payloads");
+        assert_eq!(pairs.len(), 1);
+        let (tuna, naive) = pairs[0];
+        assert!(tuna.total_samples >= 30);
+        assert!(naive.total_samples <= 30);
+        assert_eq!(result.cells[0].record.rows.len(), 2);
+        assert!(result.run_summaries(0, 0).is_none());
+    }
+}

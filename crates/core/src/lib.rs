@@ -25,6 +25,9 @@
 //! single-node sampling, extended traditional, naive distributed), and
 //! [`deploy`]/[`experiment`] reproduce the evaluation protocol: tune, then
 //! deploy the best config on ten fresh VMs and report the distribution.
+//! [`campaign`] lifts that protocol into a declarative study grid:
+//! (workload × method × seed) cells executed by a work-stealing runner
+//! and streamed into a checksummed, resumable result store.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 pub mod adjuster;
 pub mod aggregate;
 pub mod baselines;
+pub mod campaign;
 pub mod deploy;
 pub mod executor;
 pub mod experiment;
@@ -50,6 +54,7 @@ pub mod scheduler;
 
 pub use adjuster::NoiseAdjuster;
 pub use aggregate::AggregationPolicy;
+pub use campaign::{Campaign, CampaignRunner, ResultStore};
 pub use executor::{ExecStats, ExecutionMode};
 pub use outlier::{OutlierDetector, Stability};
 pub use pipeline::{TunaConfig, TunaPipeline};

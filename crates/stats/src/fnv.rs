@@ -1,0 +1,83 @@
+//! Order-sensitive FNV-1a/64 checksums over numeric result streams.
+//!
+//! Both the perf-gate (`BENCH.json`) and the campaign engine
+//! (`campaign.csv`) digest every value a deterministic run produces, so a
+//! scenario or a grid cell has exactly one legal checksum per algorithm
+//! version; any numeric drift — however small — changes the digest.
+
+/// Order-sensitive FNV-1a/64 accumulator over the values a deterministic
+/// run produces. Floats are folded by their IEEE-754 bit pattern, so any
+/// numeric drift — however small — changes the checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum {
+    /// Creates an accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a string's UTF-8 bytes.
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Folds a `u64`.
+    pub fn push_u64(&mut self, x: u64) {
+        self.push_bytes(&x.to_le_bytes());
+    }
+
+    /// Folds a float by bit pattern.
+    pub fn push_f64(&mut self, x: f64) {
+        self.push_u64(x.to_bits());
+    }
+
+    /// The digest as a 16-char lowercase hex string.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of "a" is the classic published test vector.
+        let mut c = Checksum::new();
+        c.push_bytes(b"a");
+        assert_eq!(c.hex(), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn order_sensitive_and_str_matches_bytes() {
+        let mut a = Checksum::new();
+        a.push_f64(1.0);
+        a.push_f64(2.0);
+        let mut b = Checksum::new();
+        b.push_f64(2.0);
+        b.push_f64(1.0);
+        assert_ne!(a.hex(), b.hex());
+
+        let mut s = Checksum::new();
+        s.push_str("abc");
+        let mut raw = Checksum::new();
+        raw.push_bytes(b"abc");
+        assert_eq!(s.hex(), raw.hex());
+    }
+}

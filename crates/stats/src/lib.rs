@@ -25,6 +25,8 @@
 //! - [`ar1`]: first-order autoregressive processes modelling temporally
 //!   correlated cloud interference ("noisy neighbors").
 //! - [`corr`]: Pearson / Spearman correlation.
+//! - [`fnv`]: order-sensitive FNV-1a checksums used by the perf-gate and
+//!   the campaign engine to pin deterministic results bit-for-bit.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod ar1;
 pub mod bootstrap;
 pub mod corr;
 pub mod dist;
+pub mod fnv;
 pub mod hist;
 pub mod online;
 pub mod rng;

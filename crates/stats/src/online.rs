@@ -203,19 +203,29 @@ impl P2Quantile {
         self.p
     }
 
-    /// Number of observations.
+    /// Number of accepted (finite) observations.
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Adds one observation.
+    ///
+    /// Non-finite observations (NaN, ±∞) are rejected: they carry no
+    /// quantile information, would poison the marker invariants (`NaN`
+    /// breaks the cell search's ordering, infinities collapse the
+    /// parabolic prediction), and a streaming estimator fed from noisy
+    /// telemetry must not fall over on one bad sample. Rejected values do
+    /// not advance [`P2Quantile::count`].
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 5 {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
                 self.q
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in P2Quantile input"));
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
             }
             return;
         }
@@ -277,20 +287,28 @@ impl P2Quantile {
 
     /// Current quantile estimate.
     ///
-    /// Exact (interpolated order statistic) below five observations;
-    /// the P² marker height afterwards.
+    /// Exact (interpolated order statistic) below five observations; the
+    /// P² marker height afterwards — except at the extreme levels
+    /// `p = 0.0` and `p = 1.0`, which are *always* exact: the outermost
+    /// markers track the running min/max, so returning them pins the
+    /// estimator to the sort-based oracle instead of letting an interior
+    /// marker drift near (but not onto) the extremum.
     ///
     /// # Panics
     ///
-    /// Panics if no observations have been pushed.
+    /// Panics if no (finite) observations have been pushed.
     pub fn value(&self) -> f64 {
         assert!(self.count > 0, "quantile of empty stream");
         if self.count < 5 {
             let mut head = [0.0; 5];
             let m = self.count as usize;
             head[..m].copy_from_slice(&self.q[..m]);
-            head[..m].sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in P2Quantile input"));
+            head[..m].sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
             crate::summary::quantile_of_sorted(&head[..m], self.p)
+        } else if self.p == 0.0 {
+            self.q[0]
+        } else if self.p == 1.0 {
+            self.q[4]
         } else {
             self.q[2]
         }
@@ -421,9 +439,52 @@ mod tests {
     }
 
     #[test]
+    fn p2_rejects_non_finite_observations() {
+        let mut with_noise = P2Quantile::new(0.5);
+        let mut clean = P2Quantile::new(0.5);
+        let mut rng = Rng::seed_from(5);
+        for i in 0..1_000 {
+            let x = rng.next_gaussian();
+            with_noise.push(x);
+            clean.push(x);
+            if i % 7 == 0 {
+                with_noise.push(f64::NAN);
+                with_noise.push(f64::INFINITY);
+                with_noise.push(f64::NEG_INFINITY);
+            }
+        }
+        assert_eq!(with_noise.count(), clean.count());
+        assert_eq!(with_noise.value().to_bits(), clean.value().to_bits());
+    }
+
+    #[test]
+    fn p2_extreme_levels_track_exact_min_max() {
+        let mut p0 = P2Quantile::new(0.0);
+        let mut p1 = P2Quantile::new(1.0);
+        let mut rng = Rng::seed_from(6);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.next_gaussian() * 5.0).collect();
+        for &x in &xs {
+            p0.push(x);
+            p1.push(x);
+        }
+        assert_eq!(p0.value(), summary::min(&xs).unwrap());
+        assert_eq!(p1.value(), summary::max(&xs).unwrap());
+    }
+
+    #[test]
     #[should_panic(expected = "empty stream")]
     fn p2_empty_panics() {
         P2Quantile::new(0.5).value();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn p2_all_rejected_is_still_empty() {
+        let mut p2 = P2Quantile::new(0.5);
+        p2.push(f64::NAN);
+        p2.push(f64::INFINITY);
+        assert_eq!(p2.count(), 0);
+        p2.value();
     }
 
     #[test]

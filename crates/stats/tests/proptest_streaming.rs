@@ -182,6 +182,44 @@ proptest! {
     }
 
     #[test]
+    fn p2_extreme_levels_match_sorted_oracle_exactly(xs in finite_vec(256)) {
+        // p = 0 and p = 1 are pinned, not approximated: the outer P²
+        // markers are the running min/max, so the estimate must equal the
+        // sort-based oracle bit-for-bit at any stream length.
+        for (level, oracle) in [(0.0, summary::naive::quantile(&xs, 0.0)),
+                                (1.0, summary::naive::quantile(&xs, 1.0))] {
+            let mut p2 = P2Quantile::new(level);
+            for &x in &xs {
+                p2.push(x);
+            }
+            prop_assert_eq!(p2.value().to_bits(), oracle.to_bits(), "level {}", level);
+        }
+    }
+
+    #[test]
+    fn p2_ignores_non_finite_observations(
+        xs in finite_vec(128),
+        polluted_every in 1usize..8,
+        level in 0.0f64..=1.0
+    ) {
+        // A stream polluted with NaN/±∞ must behave exactly like the
+        // filtered stream — same count, same estimate.
+        let mut clean = P2Quantile::new(level);
+        let mut dirty = P2Quantile::new(level);
+        for (i, &x) in xs.iter().enumerate() {
+            clean.push(x);
+            dirty.push(x);
+            if i % polluted_every == 0 {
+                dirty.push(f64::NAN);
+                dirty.push(f64::INFINITY);
+                dirty.push(f64::NEG_INFINITY);
+            }
+        }
+        prop_assert_eq!(clean.count(), dirty.count());
+        prop_assert_eq!(clean.value().to_bits(), dirty.value().to_bits());
+    }
+
+    #[test]
     fn p2_quantile_tracks_naive_on_ar1_streams(seed in any::<u64>(), phi in -0.9f64..0.9) {
         // P² is an approximation: on a 4k-sample smooth AR(1) stream the
         // estimate must land near the sort-based oracle. The stationary

@@ -8,6 +8,7 @@
 //! worker counts {1, 2, 4, 10}, at the pipeline level and at the full
 //! experiment level (tuning + deployment on fresh VMs).
 
+use tuna_core::campaign::{Arm, Campaign, CampaignRunner, Recipe, ResultStore, SampleBudgetSpec};
 use tuna_core::executor::ExecutionMode;
 use tuna_core::experiment::{Experiment, Method};
 use tuna_core::pipeline::{TunaConfig, TunaPipeline, TuningResult};
@@ -136,6 +137,111 @@ fn naive_distributed_baseline_is_mode_invariant() {
     let parallel = run(ExecutionMode::Parallel { workers: 10 });
     assert_eq!(serial.tuning, parallel.tuning);
     assert_eq!(serial.deployment.values, parallel.deployment.values);
+}
+
+/// A small mixed-recipe campaign for the determinism tests below: two
+/// workloads, a protocol arm, a default arm and a pinned sample-budget
+/// arm — every recipe family the figure binaries use except the
+/// convergence pair (covered by the campaign module's own tests).
+fn test_campaign(name: &str) -> Campaign {
+    let mut campaign = Campaign::protocol(
+        name,
+        17,
+        vec![tuna_workloads::tpcc(), tuna_workloads::ycsb_c()],
+        &[],
+    )
+    .with_runs(2)
+    .with_rounds(2);
+    campaign.arms = vec![
+        Arm::new("TUNA", Recipe::protocol(Method::Tuna)),
+        Arm::new("Default", Recipe::protocol(Method::DefaultConfig)),
+        Arm::new(
+            "TUNA (equal cost)",
+            Recipe::SampleBudget(SampleBudgetSpec::new(25, 900, 2, 77)),
+        ),
+    ];
+    campaign
+}
+
+/// The campaign engine's determinism contract, grid-level: a campaign's
+/// entire result store — every cell record, every per-cell digest, the
+/// campaign checksum — is bit-identical whether cells execute serially or
+/// are work-stolen by 4 worker threads.
+#[test]
+fn campaign_serial_and_parallel_stores_bit_identical() {
+    let campaign = test_campaign("equivalence");
+    let mut serial_store = ResultStore::in_memory(&campaign);
+    let serial = CampaignRunner::serial().run(&campaign, &mut serial_store);
+    assert!(serial.complete);
+    assert_eq!(serial.cells.len(), campaign.n_cells());
+    for workers in [1usize, 4] {
+        let mut store = ResultStore::in_memory(&campaign);
+        let parallel = CampaignRunner::with_workers(workers).run(&campaign, &mut store);
+        assert_eq!(
+            serial.checksum, parallel.checksum,
+            "campaign checksum diverged at {workers} workers"
+        );
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(
+                s.record, p.record,
+                "cell {} record diverged at {workers} workers",
+                s.cell
+            );
+        }
+    }
+}
+
+/// Resume-after-interrupt equals an uninterrupted run: a campaign stopped
+/// partway through (at any cut point, under either execution mode) and
+/// rerun against its store finalizes to byte-identical CSV/JSON files and
+/// the same campaign checksum.
+#[test]
+fn campaign_resume_after_interrupt_is_bit_identical() {
+    let campaign = test_campaign("resume");
+    let dir = std::env::temp_dir().join(format!(
+        "tuna-parallel-equivalence-campaign-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reference_path = dir.join("reference.csv");
+    let mut reference_store = ResultStore::open(&reference_path, &campaign).unwrap();
+    let reference = CampaignRunner::serial().run(&campaign, &mut reference_store);
+    assert!(reference.complete);
+    let reference_csv = std::fs::read_to_string(&reference_path).unwrap();
+    let reference_json = std::fs::read_to_string(reference_path.with_extension("json")).unwrap();
+
+    for (cut, workers) in [(1usize, 1usize), (3, 1), (5, 4)] {
+        let path = dir.join(format!("resume-{cut}-{workers}.csv"));
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        let partial = CampaignRunner::with_workers(workers)
+            .with_cell_limit(cut)
+            .run(&campaign, &mut store);
+        assert!(!partial.complete);
+        assert_eq!(partial.executed, cut);
+        drop(store);
+
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        assert_eq!(store.len(), cut, "journal lost cells at cut {cut}");
+        let resumed = CampaignRunner::with_workers(workers).run(&campaign, &mut store);
+        assert!(resumed.complete);
+        assert_eq!(resumed.executed, campaign.n_cells() - cut);
+        assert_eq!(
+            resumed.checksum, reference.checksum,
+            "cut {cut} workers {workers}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            reference_csv,
+            "resumed CSV differs (cut {cut}, workers {workers})"
+        );
+        assert_eq!(
+            std::fs::read_to_string(path.with_extension("json")).unwrap(),
+            reference_json,
+            "resumed JSON differs (cut {cut}, workers {workers})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Executor accounting: every scheduled sample is executed and counted

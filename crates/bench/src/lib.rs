@@ -54,11 +54,17 @@ pub struct HarnessArgs {
     pub full: bool,
     /// Campaign result-store path (campaign-backed binaries only).
     pub store: Option<String>,
+    /// Arrival-pattern name (pattern-aware binaries only; see
+    /// [`tuna_workloads::arrival`]).
+    pub pattern: Option<String>,
 }
 
-/// The usage message shared by every regenerator binary.
+/// The usage message shared by every regenerator binary. Like
+/// `--store` (campaign-backed binaries only), `--pattern` parses
+/// everywhere but only pattern-aware binaries (fig11) act on it.
 pub const USAGE: &str = "usage: <figure binary> [--runs N] [--rounds N] [--seed N] \
-                         [--quick] [--full] [--store PATH]";
+                         [--quick] [--full] [--store PATH (campaign-backed bins)] \
+                         [--pattern steady|diurnal|bursty (fig11)]";
 
 /// Prints `msg` and the usage line to stderr, then exits with status 2.
 pub fn fail(msg: &str) -> ! {
@@ -107,6 +113,7 @@ impl HarnessArgs {
                 }
                 "--seed" => args.seed = number(value(argv, &mut i, "--seed")?, "--seed")?,
                 "--store" => args.store = Some(value(argv, &mut i, "--store")?.to_string()),
+                "--pattern" => args.pattern = Some(value(argv, &mut i, "--pattern")?.to_string()),
                 "--quick" => args.quick = true,
                 "--full" => args.full = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -338,6 +345,8 @@ mod tests {
             "--quick",
             "--store",
             "out/c.csv",
+            "--pattern",
+            "diurnal",
         ]))
         .unwrap();
         assert_eq!(a.runs, Some(4));
@@ -345,9 +354,11 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.quick && !a.full);
         assert_eq!(a.store.as_deref(), Some("out/c.csv"));
+        assert_eq!(a.pattern.as_deref(), Some("diurnal"));
         let d = HarnessArgs::parse_from(&[]).unwrap();
         assert_eq!(d.seed, 42);
         assert_eq!(d.store, None);
+        assert_eq!(d.pattern, None);
     }
 
     #[test]

@@ -183,250 +183,9 @@ impl BenchDoc {
     }
 }
 
-/// Minimal JSON support for the fixed `BENCH.json` schema — the
-/// workspace builds offline, so there is no serde to lean on.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any number (integers included).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, insertion-ordered.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(x) => Some(*x),
-                _ => None,
-            }
-        }
-        pub fn as_bool(&self) -> Option<bool> {
-            match self {
-                Value::Bool(b) => Some(*b),
-                _ => None,
-            }
-        }
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(v) => Some(v),
-                _ => None,
-            }
-        }
-    }
-
-    /// Looks up an object field.
-    pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
-        obj.iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field '{name}'"))
-    }
-
-    /// Quotes a string with the escapes our schema can contain.
-    pub fn quote(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    /// Parses a JSON document.
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {pos}", c as char))
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                loop {
-                    skip_ws(b, pos);
-                    let key = parse_string(b, pos)?;
-                    skip_ws(b, pos);
-                    expect(b, pos, b':')?;
-                    let val = parse_value(b, pos)?;
-                    fields.push((key, val));
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                loop {
-                    items.push(parse_value(b, pos)?);
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
-            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
-            Some(_) => parse_number(b, pos),
-        }
-    }
-
-    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("invalid literal at byte {pos}"))
-        }
-    }
-
-    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("invalid number at byte {start}"))
-    }
-
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        while *pos < b.len() {
-            match b[*pos] {
-                b'"' => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = b
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            out.push(char::from_u32(hex).ok_or("bad \\u codepoint")?);
-                            *pos += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    *pos += 1;
-                }
-                c => {
-                    // Multi-byte UTF-8 passes through unchanged. The
-                    // bounds-checked get keeps a truncated document (a
-                    // lead byte cut off at end-of-input) on the Err
-                    // path instead of panicking.
-                    let ch_len = utf8_len(c);
-                    let s = b
-                        .get(*pos..*pos + ch_len)
-                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
-                        .ok_or("invalid utf8")?;
-                    out.push_str(s);
-                    *pos += ch_len;
-                }
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn utf8_len(first: u8) -> usize {
-        match first {
-            0x00..=0x7f => 1,
-            0xc0..=0xdf => 2,
-            0xe0..=0xef => 3,
-            _ => 4,
-        }
-    }
-}
+// JSON reading/writing lives in the shared `tuna_stats::json` module
+// (one hand-rolled writer/parser for the whole offline workspace).
+use tuna_stats::json;
 
 // ---------------------------------------------------------------------------
 // Scenario harness
@@ -945,6 +704,86 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
                 for cell in &serial.cells {
                     c.push_u64(cell.cell as u64);
                     c.push_str(&cell.record.checksum);
+                }
+            }),
+        });
+    }
+
+    // -- serve daemon ingest ----------------------------------------------
+    // The daemon's cheap path: decode submit requests through the full
+    // HTTP+JSON wire stack, register the studies, then drain the
+    // fair-share scheduler (completions are synthetic — no tuning runs).
+    // The checksum pins response statuses, the assignment *order* (the
+    // scheduling policy is part of the contract) and every study's
+    // declaration digest.
+    {
+        let requests = 40 * k;
+        v.push(ScenarioSpec {
+            name: "serve/ingest",
+            // Each request declares (1 + r%2 workloads) x 2 arms x
+            // (1 + r%3 runs) cells; both requests and scheduled cells
+            // are work items.
+            items: {
+                let cells: usize = (0..requests).map(|r| (1 + r % 2) * 2 * (1 + r % 3)).sum();
+                (requests + cells) as u64
+            },
+            run: Box::new(move |c| {
+                use tuna_core::campaign::{CellRecord, CellRow};
+                use tuna_serve::daemon::handle_bytes;
+                use tuna_serve::http;
+                use tuna_serve::manager::StudyManager;
+
+                let mut mgr = StudyManager::in_memory();
+                for r in 0..requests {
+                    let workloads = if r % 2 == 0 {
+                        "\"tpcc\""
+                    } else {
+                        "\"tpcc\", \"ycsb-c\""
+                    };
+                    let body = format!(
+                        "{{\"name\": \"ingest-{r}\", \"seed\": {r}, \"runs\": {}, \
+                         \"rounds\": 4, \"workloads\": [{workloads}], \
+                         \"arms\": [{{\"label\": \"TUNA\", \"method\": \"tuna\"}}, \
+                         {{\"label\": \"Default\", \"method\": \"default\"}}]}}",
+                        1 + r % 3
+                    );
+                    let raw = http::request_bytes("POST", "/v1/studies", &body);
+                    let reply = handle_bytes(&mut mgr, &raw);
+                    let (status, _) = http::parse_response(&reply).expect("well-formed reply");
+                    c.push_u64(status as u64);
+                }
+                // Drain the fair-share scheduler with synthetic
+                // completions: this times pure scheduling throughput and
+                // pins the policy's assignment order.
+                while let Some(a) = mgr.next_assignment() {
+                    let mut h = Checksum::new();
+                    h.push_str(&a.study);
+                    h.push_u64(a.cell as u64);
+                    c.push_str(&h.hex());
+                    let rows = vec![CellRow {
+                        label: "synthetic".to_string(),
+                        seed: a.cell as u64,
+                        samples: 1,
+                        best: Some(a.cell as f64),
+                        mean: Some(1.0),
+                        std: Some(0.0),
+                        min: Some(1.0),
+                        max: Some(1.0),
+                        crashes: Some(0),
+                    }];
+                    let checksum = CellRecord::compute_checksum(&rows);
+                    mgr.complete(
+                        &a.study,
+                        CellRecord {
+                            cell: a.cell,
+                            rows,
+                            checksum,
+                        },
+                    )
+                    .expect("synthetic completion");
+                }
+                for study in mgr.studies() {
+                    c.push_str(&study.campaign.digest());
                 }
             }),
         });

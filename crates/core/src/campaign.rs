@@ -763,8 +763,10 @@ impl ResultStore {
 
     /// Records a finished cell, appending it to the journal when
     /// file-backed. The journal line order follows completion order;
-    /// [`ResultStore::finalize`] canonicalizes it.
-    fn record(&mut self, campaign: &Campaign, record: CellRecord) {
+    /// [`ResultStore::finalize`] canonicalizes it. Public so external
+    /// schedulers (the serve daemon) can stream cells they executed via
+    /// [`execute_cell`] into the same store format the runner writes.
+    pub fn record(&mut self, campaign: &Campaign, record: CellRecord) {
         if let Some(path) = &self.path {
             let mut text = String::new();
             // Write the header before the first row of a fresh journal —
@@ -828,16 +830,11 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Serializes the store to the canonical JSON layout (the PR-3
-    /// hand-rolled style: fixed schema, `{:?}` floats for lossless
-    /// round-trips, no serde).
+    /// Serializes the store to the canonical JSON layout (fixed schema,
+    /// lossless floats, the shared [`tuna_stats::json`] writer — no
+    /// serde).
     pub fn to_json(&self, campaign: &Campaign) -> String {
-        fn opt_f64(v: Option<f64>) -> String {
-            match v {
-                None => "null".to_string(),
-                Some(x) => format!("{x:?}"),
-            }
-        }
+        use tuna_stats::json::fmt_opt_f64 as opt_f64;
         let complete = self.records.len() == campaign.n_cells();
         let mut out = String::new();
         out.push_str("{\n");
@@ -891,8 +888,10 @@ impl ResultStore {
 }
 
 /// Writes `text` to `path` via a sibling temp file plus rename, so an
-/// interrupt mid-write leaves the previous file intact.
-fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
+/// interrupt mid-write leaves the previous file intact. Shared with the
+/// serve daemon's spec/marker persistence — crash-safety code should
+/// have one implementation.
+pub fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -906,24 +905,9 @@ fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
     })
 }
 
-/// Quotes a string as a JSON literal with the escapes our identifiers
-/// can contain (labels exclude commas/newlines but not quotes).
-fn json_quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+// Quoting of identifiers in the JSON mirror (labels exclude
+// commas/newlines but not quotes) goes through the shared writer.
+use tuna_stats::json::quote as json_quote;
 
 const CSV_COLUMNS: &str =
     "cell,workload,arm,label,run,seed,samples,best,mean,std,min,max,crashes,checksum";
@@ -1168,8 +1152,10 @@ impl CampaignRunner {
 /// Runs one cell. Pure function of `(campaign, cell)` — all randomness is
 /// derived from the campaign seed and the cell coordinates, never from
 /// shared mutable state, so any execution order (and any worker count)
-/// produces identical records.
-fn execute_cell(
+/// produces identical records. Public so external schedulers (the serve
+/// daemon's fair-share multiplexer) can execute cells out of band and
+/// [`ResultStore::record`] them.
+pub fn execute_cell(
     campaign: &Campaign,
     cell: usize,
     inner: ExecutionMode,

@@ -1,0 +1,179 @@
+//! `tuna-ctl` — the client for a running `tunad`.
+//!
+//! ```text
+//! tuna-ctl [--addr 127.0.0.1:4917] submit --spec FILE
+//! tuna-ctl [--addr ...]            list
+//! tuna-ctl [--addr ...]            status  NAME
+//! tuna-ctl [--addr ...]            results NAME
+//! tuna-ctl [--addr ...]            watch   NAME [--timeout-s 600]
+//! tuna-ctl [--addr ...]            cancel  NAME
+//! tuna-ctl                         run-local --spec FILE
+//! ```
+//!
+//! Every remote subcommand performs one HTTP request and prints the
+//! JSON body to stdout (non-2xx replies go to stderr with a non-zero
+//! exit). `watch` polls status until the study is `done` (exit 0),
+//! `cancelled` (exit 3) or the timeout lapses (exit 4). `run-local`
+//! runs the same spec as a batch campaign in-process — no daemon — and
+//! prints the canonical results document, which is byte-identical to
+//! what `results` fetches from a daemon that ran the same study: that
+//! equality is the serve subsystem's determinism contract, and the CI
+//! smoke job diffs exactly these two outputs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tuna_core::campaign::{CampaignRunner, ResultStore};
+use tuna_serve::api::StudySpec;
+use tuna_serve::http;
+use tuna_stats::json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tuna-ctl [--addr HOST:PORT] <submit --spec FILE | list | status NAME | \
+         results NAME | watch NAME [--timeout-s S] | cancel NAME | run-local --spec FILE>"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("tuna-ctl: {msg}");
+    std::process::exit(1);
+}
+
+/// One request against the daemon; returns `(status, body)`.
+fn call(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    stream
+        .write_all(&http::request_bytes(method, path, body))
+        .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .unwrap_or_else(|e| fail(&format!("receive failed: {e}")));
+    http::parse_response(&raw).unwrap_or_else(|e| fail(&format!("malformed response: {e}")))
+}
+
+/// Prints a 2xx body to stdout; anything else to stderr with exit 1.
+fn expect_ok((status, body): (u16, String)) {
+    if (200..300).contains(&status) {
+        print!("{body}");
+        if !body.ends_with('\n') {
+            println!();
+        }
+    } else {
+        fail(&format!("daemon replied {status}: {}", body.trim_end()));
+    }
+}
+
+fn read_spec(path: &str) -> String {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read spec {path}: {e}")));
+    // Client-side validation gives a better error than a 400 round-trip
+    // and is required for run-local anyway.
+    if let Err(e) = StudySpec::parse(&text) {
+        fail(&format!("spec {path} is invalid: {e}"));
+    }
+    text
+}
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let addr = match flag_value(&argv, "--addr") {
+        Some(a) => {
+            let i = argv.iter().position(|x| x == "--addr").expect("present");
+            argv.drain(i..=i + 1);
+            a
+        }
+        None => "127.0.0.1:4917".to_string(),
+    };
+    let Some(command) = argv.first().cloned() else {
+        usage();
+    };
+    let name_arg = || -> String {
+        argv.get(1)
+            .filter(|n| !n.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| usage())
+    };
+
+    match command.as_str() {
+        "submit" => {
+            let spec_path = flag_value(&argv, "--spec").unwrap_or_else(|| usage());
+            expect_ok(call(&addr, "POST", "/v1/studies", &read_spec(&spec_path)));
+        }
+        "list" => expect_ok(call(&addr, "GET", "/v1/studies", "")),
+        "status" => expect_ok(call(
+            &addr,
+            "GET",
+            &format!("/v1/studies/{}", name_arg()),
+            "",
+        )),
+        "results" => expect_ok(call(
+            &addr,
+            "GET",
+            &format!("/v1/studies/{}/results", name_arg()),
+            "",
+        )),
+        "cancel" => expect_ok(call(
+            &addr,
+            "POST",
+            &format!("/v1/studies/{}/cancel", name_arg()),
+            "",
+        )),
+        "watch" => {
+            let name = name_arg();
+            let timeout_s: u64 = flag_value(&argv, "--timeout-s")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(600);
+            let deadline = Instant::now() + Duration::from_secs(timeout_s);
+            loop {
+                let (status, body) = call(&addr, "GET", &format!("/v1/studies/{name}"), "");
+                if status != 200 {
+                    fail(&format!("daemon replied {status}: {}", body.trim_end()));
+                }
+                let state = json::parse(&body)
+                    .ok()
+                    .and_then(|v| {
+                        v.get("state")
+                            .and_then(json::Value::as_str)
+                            .map(String::from)
+                    })
+                    .unwrap_or_else(|| fail("status reply lacks a state"));
+                eprintln!("tuna-ctl: {name}: {}", body.trim_end());
+                match state.as_str() {
+                    "done" => {
+                        print!("{body}");
+                        return;
+                    }
+                    "cancelled" => std::process::exit(3),
+                    _ => {}
+                }
+                if Instant::now() >= deadline {
+                    eprintln!("tuna-ctl: watch timed out after {timeout_s}s");
+                    std::process::exit(4);
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+        "run-local" => {
+            let spec_path = flag_value(&argv, "--spec").unwrap_or_else(|| usage());
+            let spec = StudySpec::parse(&read_spec(&spec_path)).expect("validated by read_spec");
+            let campaign = spec.to_campaign();
+            let mut store = ResultStore::in_memory(&campaign);
+            CampaignRunner::from_env().run(&campaign, &mut store);
+            print!("{}", store.to_json(&campaign));
+        }
+        _ => usage(),
+    }
+}

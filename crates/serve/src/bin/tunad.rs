@@ -1,0 +1,158 @@
+//! `tunad` — the tuning-as-a-service daemon.
+//!
+//! ```text
+//! tunad [--addr 127.0.0.1:4917] [--data DIR] [--workers N]
+//! ```
+//!
+//! Accepts studies over the HTTP/1.1+JSON wire protocol (see
+//! `tuna_serve::daemon` for the endpoint table), multiplexes them
+//! across `N` worker threads under fair-share scheduling, and persists
+//! every study under `--data` so a killed daemon resumes exactly where
+//! the journal left off. `--workers` defaults to the `TUNA_WORKERS`
+//! environment variable (the workspace-wide knob), then to 1. Binding
+//! port 0 picks an ephemeral port; the chosen address is printed on
+//! stderr either way (`tunad: listening on ...`), so harnesses can
+//! scrape it.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tuna_core::campaign::execute_cell;
+use tuna_core::executor::ExecutionMode;
+use tuna_serve::daemon::handle;
+use tuna_serve::http::{parse_request, Response};
+use tuna_serve::manager::StudyManager;
+
+struct Shared {
+    mgr: Mutex<StudyManager>,
+    /// Signalled whenever new work may exist (a submit landed).
+    work: Condvar,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: tunad [--addr HOST:PORT] [--data DIR] [--workers N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:4917".to_string();
+    let mut data = "tuna-serve-data".to_string();
+    let mut workers = ExecutionMode::from_env().workers();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--data" => data = value(&mut i),
+            "--workers" => workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let workers = workers.max(1);
+
+    let mgr = StudyManager::open(&data).unwrap_or_else(|e| {
+        eprintln!("tunad: {e}");
+        std::process::exit(1);
+    });
+    let resumed = mgr.studies().count();
+    let shared = Arc::new(Shared {
+        mgr: Mutex::new(mgr),
+        work: Condvar::new(),
+    });
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("tunad: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    eprintln!(
+        "tunad: listening on {local} (data {data}, {workers} workers, {resumed} studies resumed)"
+    );
+
+    for w in 0..workers {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("tunad-worker-{w}"))
+            .spawn(move || worker_loop(&shared))
+            .expect("spawn worker");
+    }
+    // Resumed studies may already have pending cells.
+    shared.work.notify_all();
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                // One thread per connection: the control plane is light,
+                // and a stalled client must not wedge the listener.
+                std::thread::spawn(move || serve_one(&shared, stream));
+            }
+            Err(e) => eprintln!("tunad: accept failed: {e}"),
+        }
+    }
+}
+
+fn serve_one(shared: &Shared, mut stream: TcpStream) {
+    // A silent peer must not pin the connection thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // Parse *before* taking the manager lock: a slow (or slow-loris)
+    // client may stall its own connection thread, never the scheduler
+    // or other clients.
+    let response = match parse_request(&mut BufReader::new(&mut stream)) {
+        Err(e) => Response::of_http_error(&e),
+        Ok(req) => {
+            let mut mgr = shared.mgr.lock().expect("manager lock");
+            handle(&mut mgr, &req)
+        }
+    };
+    // New studies mean new work for the pool.
+    shared.work.notify_all();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let assignment = {
+            let mut mgr = shared.mgr.lock().expect("manager lock");
+            loop {
+                if let Some(a) = mgr.next_assignment() {
+                    break a;
+                }
+                mgr = shared.work.wait(mgr).expect("manager lock");
+            }
+        };
+        // Execute outside the lock: this is the expensive part, and the
+        // cell is a pure function of the declaration. A panicking cell
+        // (a declaration bug the validation missed) must not kill the
+        // worker or leave the cell in flight forever — catch it and
+        // cancel the study instead of wedging the pool.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_cell(&assignment.campaign, assignment.cell, ExecutionMode::Serial)
+        }));
+        let mut mgr = shared.mgr.lock().expect("manager lock");
+        let result = match outcome {
+            Ok((record, _payload)) => mgr.complete(&assignment.study, record),
+            Err(_) => {
+                eprintln!(
+                    "tunad: study '{}' cell {} panicked during execution; cancelling the study",
+                    assignment.study, assignment.cell
+                );
+                mgr.abandon(&assignment.study, assignment.cell)
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("tunad: {e}");
+        }
+    }
+}

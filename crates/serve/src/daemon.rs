@@ -1,0 +1,183 @@
+//! Request routing and the daemon's shared state — everything `tunad`
+//! and the loopback simulator have in common.
+//!
+//! # Endpoints
+//!
+//! | Method | Path                         | Reply |
+//! |--------|------------------------------|-------|
+//! | GET    | `/healthz`                   | `{"ok": true, "studies": N}` |
+//! | POST   | `/v1/studies`                | accepted study status (201), idempotent on identical re-submit (200) |
+//! | GET    | `/v1/studies`                | `{"studies": [status, ...]}` |
+//! | GET    | `/v1/studies/<name>`         | study status |
+//! | GET    | `/v1/studies/<name>/results` | the study's canonical results document (partial while running) |
+//! | POST   | `/v1/studies/<name>/cancel`  | status after cancelling |
+//!
+//! Every error — framing, JSON, validation, routing — is a structured
+//! JSON body (`{"error": {"status": S, "message": "..."}}`); the daemon
+//! loop never panics on client input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::api::{self, StudySpec};
+use crate::http::{parse_request, Request, Response};
+use crate::manager::{Study, StudyManager};
+
+/// Routes one parsed request against the manager.
+pub fn handle(mgr: &mut StudyManager, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            format!("{{\"ok\": true, \"studies\": {}}}\n", mgr.studies().count()),
+        ),
+        ("POST", ["v1", "studies"]) => match StudySpec::parse(&req.body) {
+            Err(e) => Response::error(400, &e),
+            Ok(spec) => {
+                let fresh = mgr.get(&spec.name).is_none();
+                match mgr.submit(spec) {
+                    Ok(study) => status_response(if fresh { 201 } else { 200 }, study),
+                    Err((status, e)) => Response::error(status, &e),
+                }
+            }
+        },
+        ("GET", ["v1", "studies"]) => {
+            let statuses: Vec<String> = mgr.studies().map(Study::status_json).collect();
+            Response::json(200, format!("{{\"studies\": [{}]}}\n", statuses.join(", ")))
+        }
+        ("GET", ["v1", "studies", name]) => match mgr.get(name) {
+            Some(study) => status_response(200, study),
+            None => unknown_study(name),
+        },
+        ("GET", ["v1", "studies", name, "results"]) => match mgr.results_json(name) {
+            Some(doc) => Response::json(200, doc),
+            None => unknown_study(name),
+        },
+        ("POST", ["v1", "studies", name, "cancel"]) => match mgr.cancel(name) {
+            Ok(study) => status_response(200, study),
+            Err(_) => unknown_study(name),
+        },
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
+        (method, _) => Response::error(405, &format!("method {method} not allowed")),
+    }
+}
+
+fn status_response(status: u16, study: &Study) -> Response {
+    Response::json(status, format!("{}\n", study.status_json()))
+}
+
+fn unknown_study(name: &str) -> Response {
+    // The name is echoed through the JSON quoter, so a hostile path
+    // segment cannot break the error document's structure.
+    Response::error(404, &format!("unknown study '{name}'"))
+}
+
+/// Serves one connection: parse → route → respond. Framing errors
+/// become structured JSON error responses on the same connection; this
+/// function never panics on untrusted bytes.
+pub fn serve_connection<S: Read + Write>(mgr: &mut StudyManager, stream: &mut S) {
+    let response = read_and_route(mgr, BufReader::new(&mut *stream));
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = response.write_to(stream);
+    let _ = stream.flush();
+}
+
+/// The read-side of [`serve_connection`], factored for tests that want
+/// the [`Response`] value rather than wire bytes.
+pub fn read_and_route(mgr: &mut StudyManager, mut reader: impl BufRead) -> Response {
+    match parse_request(&mut reader) {
+        Ok(req) => handle(mgr, &req),
+        Err(e) => Response::of_http_error(&e),
+    }
+}
+
+/// Convenience used by the simulator and fuzz tests: feed raw request
+/// bytes through the full parse→route→serialize path and return raw
+/// response bytes.
+pub fn handle_bytes(mgr: &mut StudyManager, raw: &[u8]) -> Vec<u8> {
+    read_and_route(mgr, BufReader::new(raw)).to_bytes()
+}
+
+/// Validates a study-spec body the way `POST /v1/studies` will, without
+/// touching a manager — used by `tuna-ctl` for client-side feedback.
+///
+/// # Errors
+///
+/// Returns the validation message.
+pub fn validate_spec(body: &str) -> Result<StudySpec, String> {
+    api::StudySpec::parse(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request_bytes;
+
+    fn spec_body(name: &str) -> String {
+        format!(
+            r#"{{"name": "{name}", "seed": 3, "runs": 1, "rounds": 2,
+                "workloads": ["tpcc"],
+                "arms": [{{"label": "Default", "method": "default"}}]}}"#
+        )
+    }
+
+    fn call(mgr: &mut StudyManager, method: &str, path: &str, body: &str) -> (u16, String) {
+        let raw = handle_bytes(mgr, &request_bytes(method, path, body));
+        crate::http::parse_response(&raw).unwrap()
+    }
+
+    #[test]
+    fn submit_status_results_cancel_flow() {
+        let mut mgr = StudyManager::in_memory();
+        let (status, body) = call(&mut mgr, "POST", "/v1/studies", &spec_body("s1"));
+        assert_eq!(status, 201, "{body}");
+        assert!(body.contains("\"state\": \"running\""), "{body}");
+
+        // Idempotent re-submit.
+        let (status, _) = call(&mut mgr, "POST", "/v1/studies", &spec_body("s1"));
+        assert_eq!(status, 200);
+
+        let (status, body) = call(&mut mgr, "GET", "/v1/studies/s1", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"cells\": 1"), "{body}");
+
+        let (status, body) = call(&mut mgr, "GET", "/v1/studies", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"s1\""), "{body}");
+
+        let (status, body) = call(&mut mgr, "GET", "/v1/studies/s1/results", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"completed\": 0"), "{body}");
+
+        let (status, body) = call(&mut mgr, "POST", "/v1/studies/s1/cancel", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\": \"cancelled\""), "{body}");
+    }
+
+    #[test]
+    fn routing_errors_are_structured() {
+        let mut mgr = StudyManager::in_memory();
+        let (status, body) = call(&mut mgr, "GET", "/v1/studies/nope", "");
+        assert_eq!(status, 404);
+        assert!(body.contains("\"error\""), "{body}");
+
+        let (status, _) = call(&mut mgr, "GET", "/v1/frobnicate", "");
+        assert_eq!(status, 404);
+
+        let (status, _) = call(&mut mgr, "DELETE", "/v1/studies/s1", "");
+        assert_eq!(status, 405);
+
+        let (status, body) = call(&mut mgr, "POST", "/v1/studies", "{\"broken\"");
+        assert_eq!(status, 400);
+        assert!(body.contains("invalid JSON"), "{body}");
+    }
+
+    #[test]
+    fn healthz_counts_studies() {
+        let mut mgr = StudyManager::in_memory();
+        let (_, body) = call(&mut mgr, "GET", "/healthz", "");
+        assert!(body.contains("\"studies\": 0"), "{body}");
+        call(&mut mgr, "POST", "/v1/studies", &spec_body("a"));
+        let (_, body) = call(&mut mgr, "GET", "/healthz", "");
+        assert!(body.contains("\"studies\": 1"), "{body}");
+    }
+}

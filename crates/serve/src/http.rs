@@ -1,0 +1,376 @@
+//! A hand-rolled, hardened subset of HTTP/1.1 — the daemon's wire
+//! framing.
+//!
+//! The workspace builds fully offline, so the daemon speaks a minimal
+//! dialect instead of pulling in a server stack: one request per
+//! connection (`Connection: close`), JSON bodies, `Content-Length`
+//! framing only. What the parser lacks in generality it makes up in
+//! paranoia — every limit is explicit and every malformed or truncated
+//! input comes back as a typed [`HttpError`] (which the daemon turns
+//! into a structured JSON error response), never a panic:
+//!
+//! - request line and each header line are capped at
+//!   [`MAX_LINE_BYTES`]; total header count at [`MAX_HEADERS`];
+//! - bodies are capped at [`MAX_BODY_BYTES`] and must match their
+//!   `Content-Length` exactly — a short read (truncated frame) is an
+//!   error, not a hang or a partial parse;
+//! - `Transfer-Encoding: chunked` is rejected up front rather than
+//!   mis-framed.
+//!
+//! The parser reads from any [`BufRead`], so the daemon, the loopback
+//! simulator and the fuzz tests all drive the exact same byte-level
+//! code path — a `TcpStream` is just one more reader.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request/header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request target, e.g. `/v1/studies/demo/results`.
+    pub path: String,
+    /// Decoded body (empty when the request has none).
+    pub body: String,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed framing or a violated limit; the message is safe to
+    /// echo back to the client.
+    BadRequest(String),
+    /// Body longer than [`MAX_BODY_BYTES`].
+    PayloadTooLarge(String),
+    /// The peer closed the connection before sending a full request.
+    Truncated(String),
+    /// Transport error underneath the parser.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::Truncated(_) => 400,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// The error detail.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m)
+            | HttpError::PayloadTooLarge(m)
+            | HttpError::Truncated(m)
+            | HttpError::Io(m) => m,
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `MAX_LINE_BYTES`, without
+/// trusting the peer to ever send the terminator.
+fn read_line_bounded(r: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = std::io::Read::take(&mut *r, (MAX_LINE_BYTES + 1) as u64);
+    limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::Io(format!("read failed: {e}")))?;
+    if line.is_empty() {
+        return Err(HttpError::Truncated("connection closed mid-request".into()));
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(if line.len() > MAX_LINE_BYTES {
+            HttpError::BadRequest(format!("line longer than {MAX_LINE_BYTES} bytes"))
+        } else {
+            HttpError::Truncated("connection closed mid-line".into())
+        });
+    }
+    while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequest("line is not UTF-8".into()))
+}
+
+/// Parses one request from `r`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] on any framing violation: malformed request
+/// line or header, missing/overlong/duplicated `Content-Length`, a body
+/// shorter than its declared length (truncated frame), chunked
+/// encoding, or a transport failure.
+pub fn parse_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let request_line = read_line_bounded(r)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target {path:?} must be an absolute path"
+        )));
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut n_headers = 0usize;
+    loop {
+        let line = read_line_bounded(r)?;
+        if line.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(HttpError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value.parse().map_err(|_| {
+                    HttpError::BadRequest(format!("content-length {value:?} is not a length"))
+                })?;
+                if let Some(prev) = content_length {
+                    if prev != n {
+                        return Err(HttpError::BadRequest(
+                            "conflicting content-length headers".into(),
+                        ));
+                    }
+                }
+                if n > MAX_BODY_BYTES {
+                    return Err(HttpError::PayloadTooLarge(format!(
+                        "body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    )));
+                }
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::BadRequest(
+                    "transfer-encoding is not supported; send content-length".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let body = match content_length.unwrap_or(0) {
+        0 => String::new(),
+        n => {
+            let mut buf = vec![0u8; n];
+            let mut filled = 0usize;
+            while filled < n {
+                match r.read(&mut buf[filled..]) {
+                    Ok(0) => {
+                        return Err(HttpError::Truncated(format!(
+                            "body truncated at {filled} of {n} bytes"
+                        )))
+                    }
+                    Ok(k) => filled += k,
+                    Err(e) => return Err(HttpError::Io(format!("body read failed: {e}"))),
+                }
+            }
+            String::from_utf8(buf).map_err(|_| HttpError::BadRequest("body is not UTF-8".into()))?
+        }
+    };
+
+    Ok(Request { method, path, body })
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// A structured JSON error response:
+    /// `{"error": {"status": S, "message": "..."}}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!(
+                "{{\"error\": {{\"status\": {status}, \"message\": {}}}}}\n",
+                tuna_stats::json::quote(message)
+            ),
+        }
+    }
+
+    /// The canonical response for a framing-level [`HttpError`].
+    pub fn of_http_error(e: &HttpError) -> Self {
+        Response::error(e.status(), e.message())
+    }
+
+    /// Reason phrase for the status line.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
+
+    /// Writes the response to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+}
+
+/// Builds the wire bytes of a request — the client side of
+/// [`parse_request`], shared by `tuna-ctl` and the loopback simulator.
+pub fn request_bytes(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nhost: tunad\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Splits a raw response into `(status, body)` — the client side of
+/// [`Response::to_bytes`].
+///
+/// # Errors
+///
+/// Returns a message when the bytes do not form a full response.
+pub fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response lacks a header/body separator")?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut std::io::BufReader::new(raw))
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let raw = request_bytes("POST", "/v1/studies", "{\"name\": \"x\"}");
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/studies");
+        assert_eq!(req.body, "{\"name\": \"x\"}");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let raw = b"POST /v1/studies HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"partial\":";
+        match parse(raw) {
+            Err(HttpError::Truncated(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse(raw.as_bytes()) {
+            Err(e) => assert_eq!(e.status(), 413),
+            Ok(r) => panic!("accepted {r:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        let e = parse(raw).unwrap_err();
+        assert!(e.message().contains("transfer-encoding"), "{e:?}");
+    }
+
+    #[test]
+    fn roundtrip_response() {
+        let resp = Response::json(201, "{\"ok\": true}");
+        let (status, body) = parse_response(&resp.to_bytes()).unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(body, "{\"ok\": true}");
+    }
+
+    #[test]
+    fn error_responses_are_structured_json() {
+        let resp = Response::error(400, "bad \"thing\"");
+        let v = tuna_stats::json::parse(&resp.body).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("status").and_then(|s| s.as_f64()), Some(400.0));
+        assert_eq!(
+            err.get("message").and_then(|m| m.as_str()),
+            Some("bad \"thing\"")
+        );
+    }
+}

@@ -1,0 +1,596 @@
+//! The multi-study scheduler: many concurrent noisy studies competing
+//! for shared trial capacity.
+//!
+//! A [`StudyManager`] owns every study the daemon has accepted. Each
+//! study is a [`Campaign`] (rebuilt from its persisted [`StudySpec`])
+//! plus a [`ResultStore`]; the manager hands out *cells* — the
+//! campaign grid's unit of work — to whatever worker pool drives it
+//! (the daemon's threads, or the loopback simulator's deterministic
+//! step loop).
+//!
+//! # Fair share
+//!
+//! [`StudyManager::next_assignment`] implements fair-share capacity
+//! accounting: among the studies that still have pending cells, it
+//! picks the one with the fewest cells currently in flight, breaking
+//! ties by least-recently-scheduled (and then by name, so the policy is
+//! a total order and therefore deterministic). With `W` workers and `S`
+//! active studies each study holds ~`W/S` workers, a late-arriving
+//! study immediately gets its share as cells drain, and one huge study
+//! cannot starve a small one — the DarwinGame-style multiplexing
+//! problem a tuning daemon must solve.
+//!
+//! # Durability
+//!
+//! Every accepted study persists two files under the data directory:
+//! `<name>.spec.json` (the canonical submission, written first, atomic)
+//! and `<name>.csv` (the streaming result store plus its JSON mirror on
+//! finalize). A killed daemon reloads both on start: finished cells are
+//! skipped, in-flight-at-kill cells simply run again — cells are pure
+//! functions of the declaration, so the resumed study's results are
+//! byte-identical to an uninterrupted run.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::api::StudySpec;
+use tuna_core::campaign::{write_atomic, Campaign, CellRecord, ResultStore};
+
+/// Lifecycle state of a study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StudyPhase {
+    /// Accepted; cells remain to schedule or finish.
+    Running,
+    /// Every cell has a record and the store is finalized.
+    Done,
+    /// Cancelled by a client; pending cells will not be scheduled.
+    Cancelled,
+}
+
+impl StudyPhase {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StudyPhase::Running => "running",
+            StudyPhase::Done => "done",
+            StudyPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One study under management.
+#[derive(Debug)]
+pub struct Study {
+    /// The validated, persisted submission.
+    pub spec: StudySpec,
+    /// The campaign the spec declares (shared with in-flight
+    /// [`Assignment`]s, so handing out work never deep-copies the
+    /// declaration).
+    pub campaign: Arc<Campaign>,
+    store: ResultStore,
+    /// Cells not yet scheduled, ascending.
+    pending: VecDeque<usize>,
+    /// Cells handed to a worker and not yet completed.
+    in_flight: Vec<usize>,
+    cancelled: bool,
+    /// Scheduler clock value of the last assignment from this study.
+    last_scheduled: u64,
+}
+
+impl Study {
+    fn new(spec: StudySpec, campaign: Arc<Campaign>, store: ResultStore, cancelled: bool) -> Self {
+        let pending = if cancelled {
+            VecDeque::new()
+        } else {
+            (0..campaign.n_cells())
+                .filter(|i| store.get(*i).is_none())
+                .collect()
+        };
+        Study {
+            spec,
+            campaign,
+            store,
+            pending,
+            in_flight: Vec::new(),
+            cancelled,
+            last_scheduled: 0,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> StudyPhase {
+        if self.cancelled {
+            StudyPhase::Cancelled
+        } else if self.store.len() == self.campaign.n_cells() {
+            StudyPhase::Done
+        } else {
+            StudyPhase::Running
+        }
+    }
+
+    /// Completed cells.
+    pub fn completed(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Cells currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Status document (one line of `GET /v1/studies`, the whole body of
+    /// `GET /v1/studies/<name>`).
+    pub fn status_json(&self) -> String {
+        format!(
+            "{{\"name\": {}, \"state\": \"{}\", \"cells\": {}, \"completed\": {}, \
+             \"in_flight\": {}, \"digest\": \"{}\"}}",
+            tuna_stats::json::quote(&self.spec.name),
+            self.phase().label(),
+            self.campaign.n_cells(),
+            self.completed(),
+            self.in_flight(),
+            self.campaign.digest(),
+        )
+    }
+}
+
+/// The study registry plus the fair-share scheduler.
+#[derive(Debug)]
+pub struct StudyManager {
+    data_dir: Option<PathBuf>,
+    studies: BTreeMap<String, Study>,
+    /// Monotonic scheduling clock for least-recently-scheduled ties.
+    clock: u64,
+}
+
+/// An assignment handed to a worker: which study, which cell, and the
+/// declaration to execute it against (an `Arc` share, so execution runs
+/// outside the manager's lock without copying the declaration).
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Study name.
+    pub study: String,
+    /// Cell index within the study's campaign grid.
+    pub cell: usize,
+    /// The study's campaign declaration.
+    pub campaign: Arc<Campaign>,
+}
+
+impl StudyManager {
+    /// An in-memory manager (no persistence; the perf gate and unit
+    /// tests).
+    pub fn in_memory() -> Self {
+        StudyManager {
+            data_dir: None,
+            studies: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Opens (or creates) a persistent manager rooted at `data_dir`,
+    /// reloading every `<name>.spec.json` study found there; their
+    /// stores resume, so finished cells are not re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be created or a
+    /// persisted spec/store pair fails to load or verify — a daemon
+    /// must not silently drop or recompute studies it accepted.
+    pub fn open(data_dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let data_dir = data_dir.into();
+        std::fs::create_dir_all(&data_dir)
+            .map_err(|e| format!("cannot create data dir {}: {e}", data_dir.display()))?;
+        let mut mgr = StudyManager {
+            data_dir: Some(data_dir.clone()),
+            studies: BTreeMap::new(),
+            clock: 0,
+        };
+        let mut spec_paths: Vec<PathBuf> = std::fs::read_dir(&data_dir)
+            .map_err(|e| format!("cannot read data dir {}: {e}", data_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".spec.json"))
+            })
+            .collect();
+        spec_paths.sort();
+        for path in spec_paths {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let spec = StudySpec::parse(&text)
+                .map_err(|e| format!("persisted spec {} is invalid: {e}", path.display()))?;
+            mgr.attach(spec)?;
+        }
+        Ok(mgr)
+    }
+
+    fn spec_path(&self, name: &str) -> Option<PathBuf> {
+        self.data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.spec.json")))
+    }
+
+    fn store_path(&self, name: &str) -> Option<PathBuf> {
+        self.data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.csv")))
+    }
+
+    fn cancel_marker_path(&self, name: &str) -> Option<PathBuf> {
+        self.data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.cancelled")))
+    }
+
+    /// Loads a study into the registry (store resumed from disk when
+    /// persistent). Does not write the spec file.
+    fn attach(&mut self, spec: StudySpec) -> Result<&Study, String> {
+        let campaign = Arc::new(spec.to_campaign());
+        let store = match self.store_path(&spec.name) {
+            None => ResultStore::in_memory(&campaign),
+            Some(path) => ResultStore::open(path, &campaign)
+                .map_err(|e| format!("study '{}': {e}", spec.name))?,
+        };
+        // A persisted cancellation survives restarts: the cancelled
+        // study must not silently resume consuming the pool.
+        let cancelled = self
+            .cancel_marker_path(&spec.name)
+            .is_some_and(|p| p.exists());
+        // A kill can land between the final cell's journal append and
+        // finalize; re-finalize complete stores here (idempotent) so
+        // the on-disk mirror always exists for a `done` study.
+        if store.len() == campaign.n_cells() {
+            store
+                .finalize(&campaign)
+                .map_err(|e| format!("study '{}': finalize on attach failed: {e}", spec.name))?;
+        }
+        let name = spec.name.clone();
+        let study = Study::new(spec, campaign, store, cancelled);
+        self.studies.insert(name.clone(), study);
+        Ok(self.studies.get(&name).expect("just inserted"))
+    }
+
+    /// Accepts a submission. Re-submitting a byte-identical declaration
+    /// is idempotent (the existing study is returned); a different
+    /// declaration under an existing name is refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(status, message)`: `409` on a name collision with a
+    /// different declaration, `500` on persistence failures.
+    pub fn submit(&mut self, spec: StudySpec) -> Result<&Study, (u16, String)> {
+        if let Some(existing) = self.studies.get(&spec.name) {
+            return if existing.spec == spec {
+                Ok(self.studies.get(&spec.name).expect("present"))
+            } else {
+                Err((
+                    409,
+                    format!(
+                        "study '{}' already exists with a different declaration",
+                        spec.name
+                    ),
+                ))
+            };
+        }
+        // Attach (and therefore validate against any pre-existing store)
+        // *before* persisting the spec: a spec file without a loadable
+        // study would make every future daemon start fail.
+        let name = spec.name.clone();
+        let spec_json = spec.to_json();
+        self.attach(spec).map_err(|e| (500, e))?;
+        if let Some(path) = self.spec_path(&name) {
+            if let Err(e) = write_atomic(&path, &spec_json) {
+                self.studies.remove(&name);
+                return Err((500, e));
+            }
+        }
+        Ok(self.studies.get(&name).expect("just attached"))
+    }
+
+    /// Looks up a study.
+    pub fn get(&self, name: &str) -> Option<&Study> {
+        self.studies.get(name)
+    }
+
+    /// All studies, name-ordered.
+    pub fn studies(&self) -> impl Iterator<Item = &Study> {
+        self.studies.values()
+    }
+
+    /// Whether any study has pending cells to hand out.
+    pub fn has_pending(&self) -> bool {
+        self.studies
+            .values()
+            .any(|s| !s.cancelled && !s.pending.is_empty())
+    }
+
+    /// Whether any cell is currently executing.
+    pub fn has_in_flight(&self) -> bool {
+        self.studies.values().any(|s| !s.in_flight.is_empty())
+    }
+
+    /// Fair-share scheduling: hands out the next cell from the eligible
+    /// study with the fewest in-flight cells (ties: least recently
+    /// scheduled, then name). Returns `None` when no study has pending
+    /// work.
+    pub fn next_assignment(&mut self) -> Option<Assignment> {
+        let name = self
+            .studies
+            .values()
+            .filter(|s| !s.cancelled && !s.pending.is_empty())
+            .min_by(|a, b| {
+                (a.in_flight.len(), a.last_scheduled, a.spec.name.as_str()).cmp(&(
+                    b.in_flight.len(),
+                    b.last_scheduled,
+                    b.spec.name.as_str(),
+                ))
+            })
+            .map(|s| s.spec.name.clone())?;
+        self.clock += 1;
+        let clock = self.clock;
+        let study = self.studies.get_mut(&name).expect("selected study");
+        let cell = study.pending.pop_front().expect("selected study has work");
+        study.in_flight.push(cell);
+        study.last_scheduled = clock;
+        Some(Assignment {
+            study: name,
+            cell,
+            campaign: Arc::clone(&study.campaign),
+        })
+    }
+
+    /// Records a finished cell. When the study's grid is complete its
+    /// store is finalized (canonical CSV + JSON mirror on disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown studies or cells that were never
+    /// assigned (double completion).
+    pub fn complete(&mut self, study: &str, record: CellRecord) -> Result<(), String> {
+        let s = self
+            .studies
+            .get_mut(study)
+            .ok_or_else(|| format!("unknown study '{study}'"))?;
+        let Some(slot) = s.in_flight.iter().position(|&c| c == record.cell) else {
+            return Err(format!(
+                "study '{study}': cell {} was not in flight",
+                record.cell
+            ));
+        };
+        s.in_flight.remove(slot);
+        s.store.record(&s.campaign, record);
+        if s.store.len() == s.campaign.n_cells() {
+            s.store
+                .finalize(&s.campaign)
+                .map_err(|e| format!("study '{study}': finalize failed: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Cancels a study: pending cells are dropped (in-flight cells
+    /// finish and are still recorded), and the cancellation is
+    /// persisted (a marker file next to the store) so a restarted
+    /// daemon does not resume it. Cancelling a `Done` study is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown studies.
+    pub fn cancel(&mut self, study: &str) -> Result<&Study, String> {
+        let marker = self.cancel_marker_path(study);
+        let s = self
+            .studies
+            .get_mut(study)
+            .ok_or_else(|| format!("unknown study '{study}'"))?;
+        if s.phase() != StudyPhase::Done {
+            s.cancelled = true;
+            s.pending.clear();
+            if let Some(path) = marker {
+                write_atomic(&path, "cancelled\n")?;
+            }
+        }
+        Ok(self.studies.get(study).expect("present"))
+    }
+
+    /// Abandons an in-flight cell whose execution failed (a worker
+    /// caught a panic): the cell is taken out of flight and the study
+    /// is cancelled — a panicking declaration is a bug, and retrying it
+    /// forever would wedge the pool instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown studies; unknown cells are ignored.
+    pub fn abandon(&mut self, study: &str, cell: usize) -> Result<(), String> {
+        {
+            let s = self
+                .studies
+                .get_mut(study)
+                .ok_or_else(|| format!("unknown study '{study}'"))?;
+            s.in_flight.retain(|&c| c != cell);
+        }
+        self.cancel(study).map(|_| ())
+    }
+
+    /// The study's results document — exactly the store's canonical
+    /// JSON ([`ResultStore::to_json`]), which is also byte-identical to
+    /// the `.json` mirror a batch [`tuna_core::campaign::CampaignRunner`]
+    /// run of the same declaration finalizes to.
+    pub fn results_json(&self, study: &str) -> Option<String> {
+        let s = self.studies.get(study)?;
+        Some(s.store.to_json(&s.campaign))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuna_core::campaign::execute_cell;
+    use tuna_core::executor::ExecutionMode;
+
+    fn spec(name: &str, runs: usize) -> StudySpec {
+        StudySpec::parse(&format!(
+            r#"{{"name": "{name}", "seed": 5, "runs": {runs}, "rounds": 2,
+                "workloads": ["tpcc"],
+                "arms": [{{"label": "Default", "method": "default"}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fair_share_interleaves_studies() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("aaa", 4)).unwrap();
+        mgr.submit(spec("bbb", 4)).unwrap();
+        // With nothing in flight, assignments alternate between the two
+        // studies instead of draining one first.
+        let order: Vec<String> = (0..4)
+            .map(|_| mgr.next_assignment().unwrap().study)
+            .collect();
+        assert_eq!(order, ["aaa", "bbb", "aaa", "bbb"]);
+    }
+
+    #[test]
+    fn late_study_gets_its_share() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("big", 8)).unwrap();
+        let _a = mgr.next_assignment().unwrap();
+        let _b = mgr.next_assignment().unwrap();
+        // A second study arrives while 'big' holds two workers: the next
+        // two grants go to the newcomer (0 in flight vs 2).
+        mgr.submit(spec("late", 4)).unwrap();
+        assert_eq!(mgr.next_assignment().unwrap().study, "late");
+        assert_eq!(mgr.next_assignment().unwrap().study, "late");
+    }
+
+    #[test]
+    fn complete_records_and_finalizes() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("s", 2)).unwrap();
+        assert_eq!(mgr.get("s").unwrap().phase(), StudyPhase::Running);
+        while let Some(a) = mgr.next_assignment() {
+            let (record, _) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+            mgr.complete(&a.study, record).unwrap();
+        }
+        let s = mgr.get("s").unwrap();
+        assert_eq!(s.phase(), StudyPhase::Done);
+        assert_eq!(s.completed(), 2);
+        assert!(mgr.results_json("s").unwrap().contains("\"completed\": 2"));
+    }
+
+    #[test]
+    fn duplicate_submissions_are_idempotent_conflicts_refused() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("s", 2)).unwrap();
+        assert!(mgr.submit(spec("s", 2)).is_ok());
+        let (status, msg) = mgr.submit(spec("s", 3)).unwrap_err();
+        assert_eq!(status, 409);
+        assert!(msg.contains("different declaration"), "{msg}");
+    }
+
+    #[test]
+    fn cancel_drops_pending_work() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("s", 4)).unwrap();
+        let a = mgr.next_assignment().unwrap();
+        mgr.cancel("s").unwrap();
+        assert_eq!(mgr.get("s").unwrap().phase(), StudyPhase::Cancelled);
+        assert!(mgr.next_assignment().is_none());
+        // The in-flight cell still lands.
+        let (record, _) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+        mgr.complete(&a.study, record).unwrap();
+        assert_eq!(mgr.get("s").unwrap().completed(), 1);
+        assert!(mgr.cancel("nope").is_err());
+    }
+
+    #[test]
+    fn cancel_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("tuna-mgr-cancel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut mgr = StudyManager::open(&dir).unwrap();
+        mgr.submit(spec("s", 4)).unwrap();
+        mgr.cancel("s").unwrap();
+        drop(mgr);
+
+        let mut mgr = StudyManager::open(&dir).unwrap();
+        assert_eq!(mgr.get("s").unwrap().phase(), StudyPhase::Cancelled);
+        assert!(
+            mgr.next_assignment().is_none(),
+            "a cancelled study must not resume after restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abandon_cancels_instead_of_wedging() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("s", 3)).unwrap();
+        let a = mgr.next_assignment().unwrap();
+        mgr.abandon(&a.study, a.cell).unwrap();
+        let s = mgr.get("s").unwrap();
+        assert_eq!(s.phase(), StudyPhase::Cancelled);
+        assert_eq!(s.in_flight(), 0);
+        assert!(mgr.next_assignment().is_none());
+    }
+
+    #[test]
+    fn failed_submit_leaves_no_spec_behind() {
+        let dir = std::env::temp_dir().join(format!("tuna-mgr-badsub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-existing store under the study's name with a *different*
+        // declaration: attach must refuse, and the refused submission
+        // must not persist a spec that would brick the next open().
+        let other = spec("s", 4).to_campaign();
+        let mut store = ResultStore::open(dir.join("s.csv"), &other).unwrap();
+        while let Some(cell) = (0..other.n_cells()).find(|c| store.get(*c).is_none()) {
+            let (record, _) = execute_cell(&other, cell, ExecutionMode::Serial);
+            store.record(&other, record);
+        }
+        drop(store);
+
+        let mut mgr = StudyManager::open(&dir).unwrap();
+        let (status, msg) = mgr.submit(spec("s", 2)).unwrap_err();
+        assert_eq!(status, 500);
+        assert!(msg.contains("digest"), "{msg}");
+        assert!(mgr.get("s").is_none());
+        assert!(!dir.join("s.spec.json").exists(), "spec must not persist");
+        // The daemon still starts over this data dir.
+        assert!(StudyManager::open(&dir).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn complete_store_is_finalized_on_attach() {
+        let dir = std::env::temp_dir().join(format!("tuna-mgr-finalize-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut mgr = StudyManager::open(&dir).unwrap();
+        mgr.submit(spec("s", 2)).unwrap();
+        while let Some(a) = mgr.next_assignment() {
+            let (record, _) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+            mgr.complete(&a.study, record).unwrap();
+        }
+        let results = mgr.results_json("s").unwrap();
+        drop(mgr);
+
+        // Simulate a kill that landed after the last journal append but
+        // before finalize: delete the mirror the finalize wrote.
+        let mirror = dir.join("s.json");
+        std::fs::remove_file(&mirror).unwrap();
+        let mgr = StudyManager::open(&dir).unwrap();
+        assert_eq!(mgr.get("s").unwrap().phase(), StudyPhase::Done);
+        assert_eq!(std::fs::read_to_string(&mirror).unwrap(), results);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_completion_is_refused() {
+        let mut mgr = StudyManager::in_memory();
+        mgr.submit(spec("s", 2)).unwrap();
+        let a = mgr.next_assignment().unwrap();
+        let (record, _) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+        mgr.complete(&a.study, record.clone()).unwrap();
+        let err = mgr.complete(&a.study, record).unwrap_err();
+        assert!(err.contains("not in flight"), "{err}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic loopback mode: the whole daemon —
+//! request→schedule→execute→respond — without sockets, threads or
+//! wall-clock.
+//!
+//! [`SimServer`] holds the same [`StudyManager`] the real daemon locks,
+//! a virtual worker pool of fixed width, and a tick counter for a
+//! clock. Requests travel as real wire bytes through the exact
+//! parse/route/serialize path `tunad` uses; [`SimServer::step`] models
+//! one scheduling quantum: claim up to `workers` fair-share
+//! assignments, execute them (serially, in assignment order — cells
+//! are pure functions, so this is bit-identical to any interleaving),
+//! and record the results. Dropping a `SimServer` between steps *is*
+//! the kill: whatever the journal holds survives, and a new `SimServer`
+//! over the same data directory resumes exactly there.
+
+use std::path::PathBuf;
+
+use crate::daemon;
+use crate::http::{self, Response};
+use crate::manager::StudyManager;
+use tuna_core::campaign::execute_cell;
+use tuna_core::executor::ExecutionMode;
+
+/// The in-process daemon with deterministic listener, clock and worker
+/// pool.
+pub struct SimServer {
+    mgr: StudyManager,
+    workers: usize,
+    ticks: u64,
+}
+
+impl SimServer {
+    /// A simulator with `workers` virtual workers, persistent under
+    /// `data_dir` (or fully in-memory when `None`). Persisted studies
+    /// are reloaded exactly like a restarted `tunad`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StudyManager::open`] failures.
+    pub fn new(data_dir: Option<PathBuf>, workers: usize) -> Result<Self, String> {
+        let mgr = match data_dir {
+            None => StudyManager::in_memory(),
+            Some(dir) => StudyManager::open(dir)?,
+        };
+        Ok(SimServer {
+            mgr,
+            workers: workers.max(1),
+            ticks: 0,
+        })
+    }
+
+    /// Feeds raw request bytes through the full wire path; returns raw
+    /// response bytes.
+    pub fn request_bytes(&mut self, raw: &[u8]) -> Vec<u8> {
+        daemon::handle_bytes(&mut self.mgr, raw)
+    }
+
+    /// Convenience request: builds the wire bytes, runs them through
+    /// [`SimServer::request_bytes`], and splits the response into
+    /// `(status, body)`.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let raw = self.request_bytes(&http::request_bytes(method, path, body));
+        http::parse_response(&raw).unwrap_or_else(|e| (500, Response::error(500, &e).body))
+    }
+
+    /// One scheduling quantum: claims up to `workers` assignments under
+    /// fair share, executes them all, records the results. Returns the
+    /// `(study, cell)` pairs that completed this tick.
+    pub fn step(&mut self) -> Vec<(String, usize)> {
+        self.ticks += 1;
+        let mut claimed = Vec::new();
+        for _ in 0..self.workers {
+            match self.mgr.next_assignment() {
+                Some(a) => claimed.push(a),
+                None => break,
+            }
+        }
+        let mut done = Vec::with_capacity(claimed.len());
+        for a in claimed {
+            let (record, _payload) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+            self.mgr
+                .complete(&a.study, record)
+                .expect("sim completion of a just-claimed cell");
+            done.push((a.study, a.cell));
+        }
+        done
+    }
+
+    /// Steps until no study has pending work. Returns total cells
+    /// executed.
+    pub fn run_to_completion(&mut self) -> usize {
+        let mut total = 0;
+        while self.mgr.has_pending() {
+            total += self.step().len();
+        }
+        total
+    }
+
+    /// Whether the scheduler has nothing left to hand out.
+    pub fn idle(&self) -> bool {
+        !self.mgr.has_pending()
+    }
+
+    /// Virtual clock: completed scheduling quanta.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Virtual worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Direct manager access for assertions.
+    pub fn manager(&self) -> &StudyManager {
+        &self.mgr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_body(name: &str, runs: usize) -> String {
+        format!(
+            r#"{{"name": "{name}", "seed": 9, "runs": {runs}, "rounds": 2,
+                "workloads": ["tpcc"],
+                "arms": [{{"label": "Default", "method": "default"}}]}}"#
+        )
+    }
+
+    #[test]
+    fn submit_step_results_loop() {
+        let mut sim = SimServer::new(None, 2).unwrap();
+        let (status, _) = sim.request("POST", "/v1/studies", &spec_body("a", 3));
+        assert_eq!(status, 201);
+        assert!(!sim.idle());
+        let done = sim.step();
+        assert_eq!(done.len(), 2, "two workers claim two cells");
+        sim.run_to_completion();
+        let (status, body) = sim.request("GET", "/v1/studies/a", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\": \"done\""), "{body}");
+        let (_, results) = sim.request("GET", "/v1/studies/a/results", "");
+        assert!(results.contains("\"completed\": 3"), "{results}");
+    }
+
+    #[test]
+    fn two_studies_share_the_pool_per_tick() {
+        let mut sim = SimServer::new(None, 4).unwrap();
+        sim.request("POST", "/v1/studies", &spec_body("a", 6));
+        sim.request("POST", "/v1/studies", &spec_body("b", 6));
+        let done = sim.step();
+        let a_count = done.iter().filter(|(s, _)| s == "a").count();
+        let b_count = done.iter().filter(|(s, _)| s == "b").count();
+        assert_eq!((a_count, b_count), (2, 2), "fair share within one tick");
+    }
+
+    #[test]
+    fn worker_width_changes_pacing_not_results() {
+        let run = |workers: usize| -> String {
+            let mut sim = SimServer::new(None, workers).unwrap();
+            sim.request("POST", "/v1/studies", &spec_body("x", 4));
+            sim.run_to_completion();
+            sim.request("GET", "/v1/studies/x/results", "").1
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+        assert_eq!(serial, run(7));
+    }
+}

@@ -1,0 +1,458 @@
+//! Minimal hand-rolled JSON support shared across the workspace.
+//!
+//! The workspace builds fully offline, so there is no serde to lean on;
+//! instead every subsystem that speaks JSON — the campaign
+//! [`ResultStore`](https://docs.rs) mirror, the perf-gate's `BENCH.json`,
+//! and the `tuna-serve` wire protocol — uses this one writer/parser pair:
+//!
+//! - **Writing** is schema-by-hand: callers format their own documents
+//!   and use [`quote`] for string literals and [`fmt_f64`] /
+//!   [`fmt_opt_f64`] for numbers. Floats render with `{:?}` (lossless
+//!   round-trip through `parse::<f64>()`); non-finite values render as
+//!   `null` because JSON has no literal for them.
+//! - **Parsing** is a small recursive-descent parser over the full JSON
+//!   grammar ([`parse`] → [`Value`]); malformed or truncated input
+//!   always comes back as `Err`, never a panic, which is what lets the
+//!   serve daemon feed it raw network bytes.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object field list, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: object field lookup on a `Value`.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.as_obj()
+            .and_then(|obj| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+}
+
+/// Looks up an object field, erroring with the field name when absent.
+///
+/// # Errors
+///
+/// Returns an error naming the missing field.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{name}'"))
+}
+
+/// Quotes a string as a JSON literal with the escapes our documents can
+/// contain (quotes, backslashes, newlines, tabs and other control
+/// characters).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number: `{:?}` (lossless through
+/// `str::parse::<f64>`) for finite values, `null` for NaN and the
+/// infinities, which JSON cannot represent.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Formats an optional float: `None` and non-finite values render as
+/// `null`.
+pub fn fmt_opt_f64(v: Option<f64>) -> String {
+    match v {
+        None => "null".to_string(),
+        Some(x) => fmt_f64(x),
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a byte-positioned message on malformed or truncated input —
+/// never panics, even on garbage or mid-codepoint truncation.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth bound: documents deeper than this are rejected instead
+/// of recursing toward a stack overflow (the serve daemon parses
+/// attacker-controlled bytes).
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos, depth + 1)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = read_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let cp = match hex {
+                            // A high surrogate must be followed by an
+                            // escaped low surrogate: that pair is how
+                            // ensure_ascii-style encoders spell every
+                            // non-BMP character (e.g. "🚀").
+                            0xD800..=0xDBFF => {
+                                if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err("unpaired high surrogate".into());
+                                }
+                                let low = read_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => return Err("unpaired low surrogate".into()),
+                            cp => cp,
+                        };
+                        out.push(char::from_u32(cp).ok_or("bad \\u codepoint")?);
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through unchanged. The
+                // bounds-checked get keeps a truncated document (a
+                // lead byte cut off at end-of-input) on the Err
+                // path instead of panicking.
+                let ch_len = utf8_len(c);
+                let s = b
+                    .get(*pos..*pos + ch_len)
+                    .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                    .ok_or("invalid utf8")?;
+                out.push_str(s);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn read_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    b.get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| "bad \\u escape".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes_quotes_and_backslashes() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn quote_escapes_control_chars() {
+        assert_eq!(quote("tab\there"), "\"tab\\there\"");
+        assert_eq!(quote("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(quote("\u{0} \u{1f} \u{7}"), "\"\\u0000 \\u001f \\u0007\"");
+        // 0x20 and above pass through unescaped.
+        assert_eq!(quote("é ☃"), "\"é ☃\"");
+    }
+
+    #[test]
+    fn quoted_strings_roundtrip_through_parse() {
+        for s in ["", "plain", "a\"b\\c", "tab\the\nre", "\u{1}\u{2}", "é☃x"] {
+            let parsed = parse(&quote(s)).unwrap();
+            assert_eq!(parsed.as_str(), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fmt_f64_is_lossless_for_finite() {
+        for x in [0.0, -0.0, 1.5, 1.0 / 3.0, 1e-300, 2.5e17, f64::MIN] {
+            let s = fmt_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn fmt_f64_maps_non_finite_to_null() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(fmt_opt_f64(None), "null");
+        assert_eq!(fmt_opt_f64(Some(f64::NAN)), "null");
+        assert_eq!(fmt_opt_f64(Some(2.5)), "2.5");
+    }
+
+    #[test]
+    fn parse_handles_the_full_grammar() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": [true, false]}, "s": "x"}"#)
+            .unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        let a = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(&Value::Null),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\": }",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "nul",
+            "--5",
+            "\"bad \\x escape\"",
+            "\"\\u12",
+            "\"\\udфff\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // A document cut off mid-codepoint must error, not panic.
+        assert!(parse("{\"version\": 1, \"x\": \"\u{00c3}").is_err());
+        assert!(parse("\"\u{00e9}\"").is_ok());
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        // ensure_ascii-style encoders spell non-BMP characters as
+        // escaped surrogate pairs; the wire parser must accept them.
+        assert_eq!(
+            parse("\"\\ud83d\\ude80\"").unwrap().as_str(),
+            Some("\u{1F680}")
+        );
+        assert_eq!(
+            parse("\"x\\ud83d\\ude80y\"").unwrap().as_str(),
+            Some("x\u{1F680}y")
+        );
+        // Lone or malformed surrogates are errors, not panics.
+        for bad in [
+            "\"\\ud83d\"",
+            "\"\\ud83d tail\"",
+            "\"\\ud83d\\u0041\"",
+            "\"\\ude80\"",
+            "\"\\ud83d\\ud83d\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let ok = "[".repeat(20) + &"]".repeat(20);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn field_lookup_names_the_missing_field() {
+        let v = parse(r#"{"present": 1}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(field(obj, "present").unwrap().as_f64(), Some(1.0));
+        assert!(field(obj, "absent").unwrap_err().contains("'absent'"));
+    }
+}

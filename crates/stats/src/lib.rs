@@ -27,6 +27,10 @@
 //! - [`corr`]: Pearson / Spearman correlation.
 //! - [`fnv`]: order-sensitive FNV-1a checksums used by the perf-gate and
 //!   the campaign engine to pin deterministic results bit-for-bit.
+//! - [`json`]: the shared hand-rolled JSON writer/parser (the workspace
+//!   builds offline, so every JSON surface — campaign stores,
+//!   `BENCH.json`, the serve wire protocol — goes through this one
+//!   module).
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub mod corr;
 pub mod dist;
 pub mod fnv;
 pub mod hist;
+pub mod json;
 pub mod online;
 pub mod rng;
 pub mod scaler;

@@ -10,8 +10,8 @@
 //! ```text
 //! stats ─┬─ space ──┬─ optimizer ─┐
 //!        ├─ ml ─────┘             │
-//!        └─ cloudsim ─┬─ workloads├─ core ── bench
-//!                     ├─ metrics ─┤
+//!        └─ cloudsim ─┬─ workloads├─ core ─┬─ bench
+//!                     ├─ metrics ─┤        └─ serve
 //!                     └─ sut ─────┘
 //! ```
 
@@ -20,6 +20,7 @@ pub use tuna_core as core;
 pub use tuna_metrics as metrics;
 pub use tuna_ml as ml;
 pub use tuna_optimizer as optimizer;
+pub use tuna_serve as serve;
 pub use tuna_space as space;
 pub use tuna_stats as stats;
 pub use tuna_sut as sut;

@@ -1,0 +1,213 @@
+//! Integration tests for the serve subsystem's determinism contract:
+//! results fetched from a daemon that was killed and restarted
+//! mid-study are byte-identical to an uninterrupted daemon run *and*
+//! to the equivalent batch campaign — at 1 and 4 workers.
+//!
+//! Everything runs through the loopback [`SimServer`]: requests travel
+//! as real wire bytes through the daemon's parse→route→serialize path,
+//! scheduling happens in deterministic ticks, and dropping the server
+//! between ticks is the kill.
+
+use tuna::core::campaign::{CampaignRunner, ResultStore};
+use tuna::serve::api::StudySpec;
+use tuna::serve::sim::SimServer;
+
+const ALPHA: &str = r#"{
+  "name": "alpha",
+  "seed": 11,
+  "runs": 2,
+  "rounds": 2,
+  "workloads": ["tpcc"],
+  "arms": [
+    {"label": "TUNA", "method": "tuna"},
+    {"label": "Default", "method": "default"}
+  ]
+}"#;
+
+const BETA: &str = r#"{
+  "name": "beta",
+  "seed": 12,
+  "runs": 2,
+  "rounds": 2,
+  "workloads": ["ycsb-c"],
+  "arms": [
+    {"label": "Traditional", "method": "traditional"},
+    {"label": "Default", "method": "default"}
+  ]
+}"#;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tuna-serve-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn submit(sim: &mut SimServer, spec: &str) {
+    let (status, body) = sim.request("POST", "/v1/studies", spec);
+    assert!(
+        status == 201 || status == 200,
+        "submit replied {status}: {body}"
+    );
+}
+
+fn results(sim: &mut SimServer, name: &str) -> String {
+    let (status, body) = sim.request("GET", &format!("/v1/studies/{name}/results"), "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+fn state(sim: &mut SimServer, name: &str) -> String {
+    let (status, body) = sim.request("GET", &format!("/v1/studies/{name}"), "");
+    assert_eq!(status, 200, "{body}");
+    tuna::stats::json::parse(&body)
+        .unwrap()
+        .get("state")
+        .and_then(|s| s.as_str().map(String::from))
+        .expect("status has a state")
+}
+
+/// The batch equivalent of a spec: the same campaign through
+/// `CampaignRunner` with a file-backed store, returning the finalized
+/// `.json` mirror's bytes.
+fn batch_results(spec_text: &str, dir: &std::path::Path, workers: usize) -> String {
+    let spec = StudySpec::parse(spec_text).expect("valid spec");
+    let campaign = spec.to_campaign();
+    let path = dir.join(format!("{}.csv", spec.name));
+    let mut store = ResultStore::open(&path, &campaign).expect("open batch store");
+    let runner = if workers > 1 {
+        CampaignRunner::with_workers(workers)
+    } else {
+        CampaignRunner::serial()
+    };
+    let result = runner.run(&campaign, &mut store);
+    assert!(result.complete);
+    std::fs::read_to_string(path.with_extension("json")).expect("finalized mirror")
+}
+
+#[test]
+fn kill_restart_resume_is_byte_identical_across_workers_and_batch() {
+    // One batch reference per study (serial); the 4-worker batch runner
+    // must agree with it before it anchors the daemon comparisons.
+    let batch_dir = fresh_dir("batch");
+    let batch_alpha = batch_results(ALPHA, &batch_dir.join("serial"), 1);
+    let batch_beta = batch_results(BETA, &batch_dir.join("serial"), 1);
+    assert_eq!(batch_alpha, batch_results(ALPHA, &batch_dir.join("par"), 4));
+    assert_eq!(batch_beta, batch_results(BETA, &batch_dir.join("par"), 4));
+
+    for workers in [1usize, 4] {
+        // --- Uninterrupted daemon run. -------------------------------
+        let ref_dir = fresh_dir(&format!("ref-w{workers}"));
+        let mut sim = SimServer::new(Some(ref_dir.clone()), workers).unwrap();
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        // Both studies execute concurrently: after one tick at 4
+        // workers each study holds half the pool.
+        let first_tick = sim.step();
+        if workers == 4 {
+            let alpha_cells = first_tick.iter().filter(|(s, _)| s == "alpha").count();
+            let beta_cells = first_tick.iter().filter(|(s, _)| s == "beta").count();
+            assert_eq!(
+                (alpha_cells, beta_cells),
+                (2, 2),
+                "fair share splits the pool"
+            );
+        }
+        sim.run_to_completion();
+        assert_eq!(state(&mut sim, "alpha"), "done");
+        assert_eq!(state(&mut sim, "beta"), "done");
+        let ref_alpha = results(&mut sim, "alpha");
+        let ref_beta = results(&mut sim, "beta");
+        drop(sim);
+
+        // --- Killed mid-study, restarted, resumed. -------------------
+        let kill_dir = fresh_dir(&format!("kill-w{workers}"));
+        let mut sim = SimServer::new(Some(kill_dir.clone()), workers).unwrap();
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        let mut done_before_kill = 0;
+        while done_before_kill < 3 {
+            done_before_kill += sim.step().len();
+        }
+        assert!(done_before_kill < 8, "the kill must land mid-study");
+        assert!(
+            state(&mut sim, "alpha") == "running" || state(&mut sim, "beta") == "running",
+            "at least one study must still be running at the kill"
+        );
+        drop(sim); // the kill
+
+        let mut sim = SimServer::new(Some(kill_dir.clone()), workers).unwrap();
+        // The restarted daemon reloaded both studies from disk with
+        // their pre-kill progress intact.
+        let reloaded: usize = sim
+            .manager()
+            .studies()
+            .map(tuna::serve::manager::Study::completed)
+            .sum();
+        assert_eq!(reloaded, done_before_kill, "progress survived the kill");
+        // A client re-submitting the same declarations is idempotent.
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        let executed_after = sim.run_to_completion();
+        assert_eq!(
+            done_before_kill + executed_after,
+            8,
+            "resume executes only the missing cells"
+        );
+
+        // --- The contract: all three sources agree byte-for-byte. ----
+        let resumed_alpha = results(&mut sim, "alpha");
+        let resumed_beta = results(&mut sim, "beta");
+        assert_eq!(
+            resumed_alpha, ref_alpha,
+            "workers={workers}: resumed != uninterrupted (alpha)"
+        );
+        assert_eq!(
+            resumed_beta, ref_beta,
+            "workers={workers}: resumed != uninterrupted (beta)"
+        );
+        assert_eq!(
+            resumed_alpha, batch_alpha,
+            "workers={workers}: daemon != batch campaign (alpha)"
+        );
+        assert_eq!(
+            resumed_beta, batch_beta,
+            "workers={workers}: daemon != batch campaign (beta)"
+        );
+        // The finalized on-disk mirror is the same document the wire
+        // serves.
+        let disk = std::fs::read_to_string(kill_dir.join("alpha.json")).unwrap();
+        assert_eq!(disk, resumed_alpha);
+
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&kill_dir);
+    }
+    let _ = std::fs::remove_dir_all(&batch_dir);
+}
+
+#[test]
+fn restarted_daemon_refuses_conflicting_resubmission() {
+    let dir = fresh_dir("conflict");
+    let mut sim = SimServer::new(Some(dir.clone()), 1).unwrap();
+    submit(&mut sim, ALPHA);
+    drop(sim);
+
+    let mut sim = SimServer::new(Some(dir.clone()), 1).unwrap();
+    let conflicting = ALPHA.replace("\"seed\": 11", "\"seed\": 99");
+    let (status, body) = sim.request("POST", "/v1/studies", &conflicting);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("different declaration"), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_study_stops_scheduling_but_serves_partial_results() {
+    let mut sim = SimServer::new(None, 1).unwrap();
+    submit(&mut sim, ALPHA);
+    sim.step();
+    let (status, _) = sim.request("POST", "/v1/studies/alpha/cancel", "");
+    assert_eq!(status, 200);
+    assert_eq!(state(&mut sim, "alpha"), "cancelled");
+    assert!(sim.idle(), "cancel drops pending cells");
+    let body = results(&mut sim, "alpha");
+    assert!(body.contains("\"completed\": 1"), "{body}");
+}

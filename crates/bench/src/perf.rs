@@ -789,6 +789,127 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
         });
     }
 
+    // -- serve connection engine at scale ----------------------------------
+    // Thousands of keep-alive connections interleaved through the same
+    // per-connection state machine `tunad` runs, fed in staggered waves
+    // so requests queue across scheduler ticks before dispatching. The
+    // scenario's items are *connections*, so the gated throughput is
+    // connections/sec; the checksum pins every response status in
+    // connection order, the fair-share assignment order, and the p99
+    // decode-to-dispatch latency (in ticks), which is also hard-bounded
+    // here. Deliberately the same size in quick mode: the determinism
+    // contract is "≥ 2,000 interleaved connections", not a sample of it.
+    {
+        const CONNS: usize = 2000;
+        const WAVE: usize = 100;
+        // Dispatch only every DISPATCH_EVERY waves, so decode-to-dispatch
+        // latencies spread deterministically over 1..=DISPATCH_EVERY ticks.
+        const DISPATCH_EVERY: usize = 4;
+        v.push(ScenarioSpec {
+            name: "serve/c10k",
+            items: CONNS as u64,
+            run: Box::new(move |c| {
+                use tuna_core::campaign::{CellRecord, CellRow};
+                use tuna_serve::engine::EngineConfig;
+                use tuna_serve::http;
+                use tuna_serve::sim::SimServer;
+
+                let cfg = EngineConfig {
+                    record_latency: true,
+                    ..EngineConfig::sim_default()
+                };
+                let mut sim = SimServer::with_engine_config(None, 1, cfg).expect("in-memory sim");
+                let conns: Vec<usize> = (0..CONNS).map(|_| sim.connect()).collect();
+
+                // Round 1: every connection submits a one-cell study;
+                // round 2: every connection re-uses its socket for a
+                // status poll. Both rounds arrive in staggered waves.
+                for round in 0..2 {
+                    for (wave, chunk) in conns.chunks(WAVE).enumerate() {
+                        for (i, &conn) in chunk.iter().enumerate() {
+                            let id = wave * WAVE + i;
+                            let raw = if round == 0 {
+                                let body = format!(
+                                    "{{\"name\": \"c10k-{id}\", \"seed\": {id}, \
+                                     \"runs\": 1, \"rounds\": 2, \"workloads\": [\"tpcc\"], \
+                                     \"arms\": [{{\"label\": \"Default\", \
+                                     \"method\": \"default\"}}]}}"
+                                );
+                                http::request_bytes_with("POST", "/v1/studies", &body, true)
+                            } else {
+                                http::request_bytes_with(
+                                    "GET",
+                                    &format!("/v1/studies/c10k-{id}"),
+                                    "",
+                                    true,
+                                )
+                            };
+                            sim.feed(conn, &raw);
+                        }
+                        sim.tick();
+                        if wave % DISPATCH_EVERY == DISPATCH_EVERY - 1 {
+                            sim.dispatch();
+                        }
+                    }
+                    sim.dispatch();
+                }
+
+                // Statuses in connection order: 201 then 200 per conn.
+                for &conn in &conns {
+                    let raw = sim.recv(conn);
+                    let replies = http::split_responses(&raw).expect("well-formed replies");
+                    assert_eq!(replies.len(), 2, "submit + status per connection");
+                    for (status, _) in &replies {
+                        c.push_u64(u64::from(*status));
+                    }
+                    assert!(!sim.wants_close(conn), "keep-alive survives both rounds");
+                }
+
+                // Decode-to-dispatch p99, gated and pinned.
+                let mut latencies = sim.engine_mut().take_latencies();
+                assert_eq!(latencies.len(), CONNS * 2);
+                latencies.sort_unstable();
+                let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+                assert!(p99 <= 2 * DISPATCH_EVERY as u64, "p99 {p99} ticks");
+                c.push_u64(p99);
+
+                // Drain the fair-share scheduler synthetically and pin
+                // the assignment order (one cell per study).
+                let mut drained = 0u64;
+                while let Some(a) = sim.manager_mut().next_assignment() {
+                    let mut h = Checksum::new();
+                    h.push_str(&a.study);
+                    h.push_u64(a.cell as u64);
+                    c.push_str(&h.hex());
+                    let rows = vec![CellRow {
+                        label: "synthetic".to_string(),
+                        seed: a.cell as u64,
+                        samples: 1,
+                        best: Some(a.cell as f64),
+                        mean: Some(1.0),
+                        std: Some(0.0),
+                        min: Some(1.0),
+                        max: Some(1.0),
+                        crashes: Some(0),
+                    }];
+                    let checksum = CellRecord::compute_checksum(&rows);
+                    sim.manager_mut()
+                        .complete(
+                            &a.study,
+                            CellRecord {
+                                cell: a.cell,
+                                rows,
+                                checksum,
+                            },
+                        )
+                        .expect("synthetic completion");
+                    drained += 1;
+                }
+                assert_eq!(drained, CONNS as u64, "one cell per connection's study");
+            }),
+        });
+    }
+
     // -- serial vs parallel executor ---------------------------------------
     // Runs the same tuning rounds in both modes, asserts bit-identical
     // results (the executor's core contract), and reports the combined

@@ -275,6 +275,24 @@ impl Campaign {
         )
     }
 
+    /// How many journal rows [`execute_cell`] produces for `cell`: one
+    /// per summary, except convergence cells which store a TUNA/naive
+    /// pair. The torn-tail repair in [`ResultStore::open`] uses this to
+    /// tell a mid-append kill (fewer rows than the recipe produces —
+    /// repairable) from corruption (full row count, bad checksum —
+    /// refused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn rows_per_cell(&self, cell: usize) -> usize {
+        let (_, arm, _) = self.coords(cell);
+        match self.arms[arm].recipe {
+            Recipe::Convergence(_) => 2,
+            Recipe::Protocol { .. } | Recipe::SampleBudget(_) => 1,
+        }
+    }
+
     /// Digest over the campaign declaration. Stored in the CSV header and
     /// JSON document; a resume against a store written by a *different*
     /// declaration is refused instead of silently mixing grids.
@@ -641,11 +659,21 @@ impl ResultStore {
     /// An existing file is parsed and its cells are skipped on the next
     /// run.
     ///
+    /// A journal whose *tail* was torn by a kill mid-append — an
+    /// unterminated final line, or a final cell group with fewer rows
+    /// than its recipe produces — is repaired, not refused: the torn
+    /// tail is dropped (re-executing only that cell on resume) and the
+    /// journal is atomically rewritten to its verified prefix so later
+    /// appends land on a clean file. Because cells are pure functions
+    /// of the declaration, the repaired-and-resumed store finalizes
+    /// byte-identically to an uninterrupted run.
+    ///
     /// # Errors
     ///
     /// Returns an error when the existing file belongs to a different
-    /// campaign declaration (digest mismatch), is malformed, or fails a
-    /// per-cell checksum re-verification.
+    /// campaign declaration (digest mismatch), is malformed *before*
+    /// the tail, or fails a per-cell checksum re-verification — torn
+    /// tails are repairable, mid-file corruption is not.
     pub fn open(path: impl Into<PathBuf>, campaign: &Campaign) -> Result<Self, String> {
         let path = path.into();
         let mut store = ResultStore {
@@ -657,7 +685,9 @@ impl ResultStore {
         if path.exists() {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            store.load(&text, campaign)?;
+            if store.load(&text, campaign)? {
+                store.rewrite_journal(campaign)?;
+            }
         } else if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)
@@ -667,10 +697,22 @@ impl ResultStore {
         Ok(store)
     }
 
-    fn load(&mut self, text: &str, campaign: &Campaign) -> Result<(), String> {
+    /// Parses journal text into records; returns whether a torn tail
+    /// was dropped (so [`ResultStore::open`] knows to rewrite the
+    /// file).
+    fn load(&mut self, text: &str, campaign: &Campaign) -> Result<bool, String> {
+        // A kill mid-append truncates the file at an arbitrary byte, so
+        // an unterminated final line is a torn write, never data: a
+        // prefix of a row must not be parsed (it could even still look
+        // like a row). Every complete line ends in '\n' because the
+        // writer emits whole lines.
+        let complete = text.rfind('\n').map_or("", |i| &text[..=i]);
+        let mut repaired = complete.len() != text.len();
+
         let mut pending: BTreeMap<usize, (Vec<CellRow>, String)> = BTreeMap::new();
+        let mut file_order: Vec<usize> = Vec::new();
         let mut saw_header = false;
-        for (lineno, line) in text.lines().enumerate() {
+        for (lineno, line) in complete.lines().enumerate() {
             let line = line.trim_end();
             if line.is_empty() || line == CSV_COLUMNS {
                 continue;
@@ -695,9 +737,10 @@ impl ResultStore {
             if cell >= campaign.n_cells() {
                 return Err(format!("line {}: cell {cell} out of range", lineno + 1));
             }
-            let entry = pending
-                .entry(cell)
-                .or_insert_with(|| (Vec::new(), checksum.clone()));
+            let entry = pending.entry(cell).or_insert_with(|| {
+                file_order.push(cell);
+                (Vec::new(), checksum.clone())
+            });
             if entry.1 != checksum {
                 return Err(format!(
                     "line {}: cell {cell} rows disagree on their checksum",
@@ -716,7 +759,24 @@ impl ResultStore {
                 campaign.name
             ));
         }
+        // The journal is grouped by cell in append order, so only the
+        // *last* group can have been torn by a kill: a group short of
+        // its recipe's row count there is a repairable tear, anywhere
+        // else it is corruption.
+        let tail_cell = file_order.last().copied();
         for (cell, (rows, checksum)) in pending {
+            let expected_rows = campaign.rows_per_cell(cell);
+            if rows.len() < expected_rows && Some(cell) == tail_cell {
+                repaired = true;
+                continue;
+            }
+            if rows.len() != expected_rows {
+                return Err(format!(
+                    "cell {cell}: {} rows where the declaration produces {expected_rows} \
+                     (corrupt store)",
+                    rows.len()
+                ));
+            }
             let recomputed = CellRecord::compute_checksum(&rows);
             if recomputed != checksum {
                 return Err(format!(
@@ -733,7 +793,25 @@ impl ResultStore {
                 },
             );
         }
-        Ok(())
+        Ok(repaired)
+    }
+
+    /// Atomically rewrites the journal to exactly the verified records —
+    /// the repair half of torn-tail recovery, so a later append lands on
+    /// a clean file instead of concatenating with the torn bytes.
+    fn rewrite_journal(&self, campaign: &Campaign) -> Result<(), String> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut csv = String::new();
+        csv.push_str(&self.header);
+        csv.push('\n');
+        csv.push_str(CSV_COLUMNS);
+        csv.push('\n');
+        for record in self.records.values() {
+            write_csv_record(&mut csv, campaign, record);
+        }
+        write_atomic(path, &csv)
     }
 
     /// The backing CSV path, if any.
@@ -1479,6 +1557,140 @@ mod tests {
         std::fs::write(&path, tampered).unwrap();
         let err = ResultStore::open(&path, &campaign).unwrap_err();
         assert!(err.contains("checksum"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A two-cell campaign whose first cell journals *two* rows (a
+    /// convergence pair) and whose second journals one — so torn tails
+    /// can land mid-group, not just mid-line.
+    fn torn_campaign(name: &str) -> Campaign {
+        let mut campaign = tiny_campaign(name);
+        campaign.arms = vec![
+            Arm::new(
+                "pair",
+                Recipe::Convergence(ConvergenceSpec {
+                    samples: 10,
+                    seed_salt: 41,
+                    rng_label: 3,
+                }),
+            ),
+            Arm::new("Default", Recipe::protocol(Method::DefaultConfig)),
+        ];
+        campaign.runs = 1;
+        campaign
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_at_every_byte_offset() {
+        let campaign = torn_campaign("torn");
+        let dir = std::env::temp_dir().join(format!("tuna-campaign-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted reference run (also caches the pure per-cell
+        // records, so each truncation below resumes from the journal
+        // write path without paying for re-execution).
+        let ref_path = dir.join("reference.csv");
+        let mut ref_store = ResultStore::open(&ref_path, &campaign).unwrap();
+        let result = CampaignRunner::serial().run(&campaign, &mut ref_store);
+        assert!(result.complete);
+        let records: Vec<CellRecord> = (0..campaign.n_cells())
+            .map(|c| ref_store.get(c).expect("complete run").clone())
+            .collect();
+        let ref_csv = std::fs::read_to_string(&ref_path).unwrap();
+        let ref_json = std::fs::read_to_string(ref_path.with_extension("json")).unwrap();
+
+        // Kill at every byte offset: the truncated journal must open
+        // (repair, not refuse), keep only verified whole cells, and
+        // after re-recording the lost cells finalize byte-identically.
+        let path = dir.join("truncated.csv");
+        for offset in 0..=ref_csv.len() {
+            let _ = std::fs::remove_file(path.with_extension("json"));
+            std::fs::write(&path, &ref_csv.as_bytes()[..offset]).unwrap();
+            let mut store = ResultStore::open(&path, &campaign)
+                .unwrap_or_else(|e| panic!("offset {offset}: refused instead of repaired: {e}"));
+            for (cell, record) in records.iter().enumerate() {
+                if let Some(kept) = store.get(cell) {
+                    assert_eq!(kept, record, "offset {offset}: kept cell {cell} differs");
+                } else {
+                    store.record(&campaign, record.clone());
+                }
+            }
+            store.finalize(&campaign).unwrap();
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                ref_csv,
+                "offset {offset}: resumed CSV differs from uninterrupted"
+            );
+            assert_eq!(
+                std::fs::read_to_string(path.with_extension("json")).unwrap(),
+                ref_json,
+                "offset {offset}: resumed JSON differs from uninterrupted"
+            );
+        }
+
+        // Spot-check the repair boundary: cutting the final byte tears
+        // only the tail cell; the complete first cell survives.
+        std::fs::write(&path, &ref_csv.as_bytes()[..ref_csv.len() - 1]).unwrap();
+        let store = ResultStore::open(&path, &campaign).unwrap();
+        assert_eq!(store.len(), 1, "only the torn tail cell is lost");
+        assert!(store.get(0).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_resume_reexecutes_only_the_lost_cell() {
+        let campaign = torn_campaign("torn-rerun");
+        let dir =
+            std::env::temp_dir().join(format!("tuna-campaign-torn-rerun-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ref_path = dir.join("reference.csv");
+        let mut ref_store = ResultStore::open(&ref_path, &campaign).unwrap();
+        CampaignRunner::serial().run(&campaign, &mut ref_store);
+        let ref_csv = std::fs::read_to_string(&ref_path).unwrap();
+
+        // Tear mid-way through the *last* cell's line: the first cell's
+        // pair is intact and must be kept, the tail cell re-executes.
+        let path = dir.join("torn.csv");
+        std::fs::write(&path, &ref_csv.as_bytes()[..ref_csv.len() - 3]).unwrap();
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        assert_eq!(store.len(), 1);
+        let resumed = CampaignRunner::serial().run(&campaign, &mut store);
+        assert!(resumed.complete);
+        assert_eq!(resumed.executed, 1, "only the torn cell re-executes");
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), ref_csv);
+        assert_eq!(
+            std::fs::read_to_string(path.with_extension("json")).unwrap(),
+            std::fs::read_to_string(ref_path.with_extension("json")).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_group_mid_file_is_still_refused() {
+        let campaign = torn_campaign("torn-midfile");
+        let dir =
+            std::env::temp_dir().join(format!("tuna-campaign-midfile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("campaign.csv");
+        let mut store = ResultStore::open(&path, &campaign).unwrap();
+        CampaignRunner::serial().run(&campaign, &mut store);
+        drop(store);
+
+        // Delete the second row of the first cell's pair: the group is
+        // short *before* the journal tail, which no kill-during-append
+        // can produce — that is corruption and must be refused.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let gutted: String = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert_ne!(text, gutted);
+        std::fs::write(&path, gutted).unwrap();
+        let err = ResultStore::open(&path, &campaign).unwrap_err();
+        assert!(err.contains("corrupt"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

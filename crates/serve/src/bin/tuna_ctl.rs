@@ -10,13 +10,17 @@
 //! tuna-ctl                         run-local --spec FILE
 //! ```
 //!
-//! Every remote subcommand performs one HTTP request and prints the
-//! JSON body to stdout (non-2xx replies go to stderr with a non-zero
-//! exit). `watch` polls status until the study is `done` (exit 0),
-//! `cancelled` (exit 3) or the timeout lapses (exit 4). `run-local`
-//! runs the same spec as a batch campaign in-process — no daemon — and
-//! prints the canonical results document, which is byte-identical to
-//! what `results` fetches from a daemon that ran the same study: that
+//! Every remote subcommand speaks HTTP/1.1 keep-alive over a
+//! persistent connection ([`Client`]) and prints the JSON body to
+//! stdout (non-2xx replies go to stderr with a non-zero exit). One-shot
+//! subcommands make a single request on it; `watch` polls status on the
+//! *same* connection until the study is `done` (exit 0), `cancelled`
+//! (exit 3) or the timeout lapses (exit 4) — one TCP connection for the
+//! whole watch, with a transparent reconnect if the daemon sheds or
+//! times the connection out between polls. `run-local` runs the same
+//! spec as a batch campaign in-process — no daemon — and prints the
+//! canonical results document, which is byte-identical to what
+//! `results` fetches from a daemon that ran the same study: that
 //! equality is the serve subsystem's determinism contract, and the CI
 //! smoke job diffs exactly these two outputs.
 
@@ -26,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use tuna_core::campaign::{CampaignRunner, ResultStore};
 use tuna_serve::api::StudySpec;
-use tuna_serve::http;
+use tuna_serve::http::{self, ResponseParser};
 use tuna_stats::json;
 
 fn usage() -> ! {
@@ -42,20 +46,91 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-/// One request against the daemon; returns `(status, body)`.
-fn call(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr)
-        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    stream
-        .write_all(&http::request_bytes(method, path, body))
-        .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
-    let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .unwrap_or_else(|e| fail(&format!("receive failed: {e}")));
-    http::parse_response(&raw).unwrap_or_else(|e| fail(&format!("malformed response: {e}")))
+/// A keep-alive HTTP client holding one persistent connection to the
+/// daemon. Requests are framed `connection: keep-alive` and responses
+/// are framed by `content-length`, so consecutive calls reuse the
+/// socket; when the daemon closes it (idle budget, shed, restart) the
+/// next call transparently reconnects once.
+struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    fn new(addr: &str) -> Self {
+        Client {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    fn connected(&mut self) -> &mut TcpStream {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .unwrap_or_else(|e| fail(&format!("cannot connect to {}: {e}", self.addr)));
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+            self.stream = Some(stream);
+        }
+        self.stream.as_mut().expect("just connected")
+    }
+
+    /// One request/response exchange on the persistent connection.
+    fn call(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        // Two attempts: a stale keep-alive socket (daemon closed it
+        // between calls) surfaces as a send/receive error on the first
+        // try and a fresh connection handles the second.
+        for attempt in 0..2 {
+            let reused = self.stream.is_some();
+            let stream = self.connected();
+            let outcome = Self::exchange(stream, method, path, body);
+            match outcome {
+                Ok(reply) => {
+                    if !reply.keep_alive {
+                        self.stream = None;
+                    }
+                    return (reply.status, reply.body);
+                }
+                Err(e) => {
+                    self.stream = None;
+                    // A failure on a fresh connection is real; only a
+                    // reused socket earns the silent retry.
+                    if attempt == 1 || !reused {
+                        fail(&e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns or fails");
+    }
+
+    fn exchange(
+        stream: &mut TcpStream,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<http::WireResponse, String> {
+        stream
+            .write_all(&http::request_bytes_with(method, path, body, true))
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(reply) = parser
+                .next_response()
+                .map_err(|e| format!("malformed response: {e}"))?
+            {
+                return Ok(reply);
+            }
+            let n = stream
+                .read(&mut buf)
+                .map_err(|e| format!("receive failed: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-response".to_string());
+            }
+            parser.feed(&buf[..n]);
+        }
+    }
 }
 
 /// Prints a 2xx body to stdout; anything else to stderr with exit 1.
@@ -107,38 +182,29 @@ fn main() {
             .unwrap_or_else(|| usage())
     };
 
+    let mut client = Client::new(&addr);
     match command.as_str() {
         "submit" => {
             let spec_path = flag_value(&argv, "--spec").unwrap_or_else(|| usage());
-            expect_ok(call(&addr, "POST", "/v1/studies", &read_spec(&spec_path)));
+            expect_ok(client.call("POST", "/v1/studies", &read_spec(&spec_path)));
         }
-        "list" => expect_ok(call(&addr, "GET", "/v1/studies", "")),
-        "status" => expect_ok(call(
-            &addr,
-            "GET",
-            &format!("/v1/studies/{}", name_arg()),
-            "",
-        )),
-        "results" => expect_ok(call(
-            &addr,
-            "GET",
-            &format!("/v1/studies/{}/results", name_arg()),
-            "",
-        )),
-        "cancel" => expect_ok(call(
-            &addr,
-            "POST",
-            &format!("/v1/studies/{}/cancel", name_arg()),
-            "",
-        )),
+        "list" => expect_ok(client.call("GET", "/v1/studies", "")),
+        "status" => expect_ok(client.call("GET", &format!("/v1/studies/{}", name_arg()), "")),
+        "results" => {
+            expect_ok(client.call("GET", &format!("/v1/studies/{}/results", name_arg()), ""))
+        }
+        "cancel" => {
+            expect_ok(client.call("POST", &format!("/v1/studies/{}/cancel", name_arg()), ""))
+        }
         "watch" => {
             let name = name_arg();
             let timeout_s: u64 = flag_value(&argv, "--timeout-s")
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(600);
             let deadline = Instant::now() + Duration::from_secs(timeout_s);
+            // The whole watch loop rides one keep-alive connection.
             loop {
-                let (status, body) = call(&addr, "GET", &format!("/v1/studies/{name}"), "");
+                let (status, body) = client.call("GET", &format!("/v1/studies/{name}"), "");
                 if status != 200 {
                     fail(&format!("daemon replied {status}: {}", body.trim_end()));
                 }

@@ -13,17 +13,35 @@
 //! port 0 picks an ephemeral port; the chosen address is printed on
 //! stderr either way (`tunad: listening on ...`), so harnesses can
 //! scrape it.
+//!
+//! # Architecture
+//!
+//! All connection IO happens on **one** thread: a readiness loop over
+//! non-blocking sockets (`poll(2)` on Linux, a short-sleep fallback
+//! elsewhere) drives the shared `tuna_serve::engine::Engine` state
+//! machine — accept → read → parse → dispatch → write — with HTTP/1.1
+//! keep-alive and pipelining, per-connection byte/time budgets, and
+//! bounded queues that shed load with structured `408`/`429`/`503`
+//! responses. A stalled or hostile client can therefore pin at most its
+//! own connection slot, and only until its time budget expires. Cell
+//! *execution* — the expensive, pure part — stays on the `N`-thread
+//! worker pool, which shares the `StudyManager` with the loop through
+//! one mutex; the loop holds that lock only for in-memory routing.
 
-use std::io::{BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::Instant;
 
 use tuna_core::campaign::execute_cell;
 use tuna_core::executor::ExecutionMode;
-use tuna_serve::daemon::handle;
-use tuna_serve::http::{parse_request, Response};
+use tuna_serve::engine::{Engine, EngineConfig};
 use tuna_serve::manager::StudyManager;
+
+/// How long the loop sleeps waiting for socket readiness before it
+/// wakes anyway to advance time budgets.
+const POLL_TIMEOUT_MS: i32 = 100;
 
 struct Shared {
     mgr: Mutex<StudyManager>,
@@ -88,37 +106,159 @@ fn main() {
     // Resumed studies may already have pending cells.
     shared.work.notify_all();
 
-    for stream in listener.incoming() {
-        match stream {
-            Ok(stream) => {
-                let shared = Arc::clone(&shared);
-                // One thread per connection: the control plane is light,
-                // and a stalled client must not wedge the listener.
-                std::thread::spawn(move || serve_one(&shared, stream));
+    event_loop(&shared, &listener);
+}
+
+/// The single-threaded readiness loop: every connection's bytes flow
+/// through the shared [`Engine`] state machine; the loop never blocks
+/// on any one peer.
+fn event_loop(shared: &Shared, listener: &TcpListener) -> ! {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let mut engine = Engine::new(EngineConfig::daemon_default());
+    let mut streams: BTreeMap<usize, TcpStream> = BTreeMap::new();
+    let started = Instant::now();
+    let mut buf = [0u8; 16 * 1024];
+
+    loop {
+        wait_ready(listener, &streams, &engine);
+        let now = started.elapsed().as_millis() as u64;
+
+        // Accept every pending connection. Past capacity the engine
+        // queues a structured 503 and the slot closes after the flush —
+        // a visible refusal, never a silent drop.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = engine.connect(now);
+                    streams.insert(id, stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    eprintln!("tunad: accept failed: {e}");
+                    break;
+                }
             }
-            Err(e) => eprintln!("tunad: accept failed: {e}"),
+        }
+
+        // Read whatever every readable peer sent.
+        let mut broken: Vec<usize> = Vec::new();
+        for (&id, stream) in &mut streams {
+            if !engine.accepts_input(id) {
+                continue;
+            }
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => {
+                        engine.on_eof(id);
+                        break;
+                    }
+                    Ok(n) => engine.recv(id, &buf[..n], now),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken.push(id);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Dispatch queued requests under the manager lock (cheap,
+        // in-memory routing only) and wake the pool if submits landed.
+        {
+            let mut mgr = shared.mgr.lock().expect("manager lock");
+            if engine.dispatch(&mut mgr, now) > 0 {
+                shared.work.notify_all();
+            }
+        }
+        engine.on_tick(now);
+
+        // Flush response bytes; tolerate partial writes.
+        for (&id, stream) in &mut streams {
+            let pending = engine.pending_output(id).to_vec();
+            if pending.is_empty() {
+                continue;
+            }
+            match stream.write(&pending) {
+                Ok(n) => {
+                    engine.consume_output(id, n);
+                    let _ = stream.flush();
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {}
+                Err(_) => broken.push(id),
+            }
+        }
+
+        // Reap: transport failures and engine-decided closes.
+        for id in broken {
+            streams.remove(&id);
+            engine.disconnect(id);
+        }
+        let closing: Vec<usize> = streams
+            .keys()
+            .copied()
+            .filter(|&id| engine.wants_close(id))
+            .collect();
+        for id in closing {
+            streams.remove(&id);
+            engine.disconnect(id);
         }
     }
 }
 
-fn serve_one(shared: &Shared, mut stream: TcpStream) {
-    // A silent peer must not pin the connection thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    // Parse *before* taking the manager lock: a slow (or slow-loris)
-    // client may stall its own connection thread, never the scheduler
-    // or other clients.
-    let response = match parse_request(&mut BufReader::new(&mut stream)) {
-        Err(e) => Response::of_http_error(&e),
-        Ok(req) => {
-            let mut mgr = shared.mgr.lock().expect("manager lock");
-            handle(&mut mgr, &req)
+/// Blocks until the listener or any connection is ready (or the timeout
+/// elapses, so time budgets still advance on an idle daemon).
+#[cfg(target_os = "linux")]
+fn wait_ready(listener: &TcpListener, streams: &BTreeMap<usize, TcpStream>, engine: &Engine) {
+    use std::os::fd::{AsRawFd, RawFd};
+
+    #[repr(C)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    let mut fds = Vec::with_capacity(streams.len() + 1);
+    fds.push(PollFd {
+        fd: listener.as_raw_fd(),
+        events: POLLIN,
+        revents: 0,
+    });
+    for (&id, stream) in streams {
+        let mut events = POLLIN;
+        if !engine.pending_output(id).is_empty() {
+            events |= POLLOUT;
         }
-    };
-    // New studies mean new work for the pool.
-    shared.work.notify_all();
-    let _ = response.write_to(&mut stream);
-    let _ = stream.flush();
+        fds.push(PollFd {
+            fd: stream.as_raw_fd(),
+            events,
+            revents: 0,
+        });
+    }
+    // A failed poll degrades to the timeout path: the loop's reads are
+    // non-blocking either way, so readiness is an optimization, never a
+    // correctness requirement.
+    unsafe {
+        poll(fds.as_mut_ptr(), fds.len() as u64, POLL_TIMEOUT_MS);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(_listener: &TcpListener, _streams: &BTreeMap<usize, TcpStream>, _engine: &Engine) {
+    std::thread::sleep(std::time::Duration::from_millis(
+        POLL_TIMEOUT_MS as u64 / 10,
+    ));
 }
 
 fn worker_loop(shared: &Shared) {

@@ -1,5 +1,5 @@
-//! Request routing and the daemon's shared state — everything `tunad`
-//! and the loopback simulator have in common.
+//! Request routing — everything `tunad` and the loopback simulator
+//! have in common.
 //!
 //! # Endpoints
 //!
@@ -15,11 +15,13 @@
 //! Every error — framing, JSON, validation, routing — is a structured
 //! JSON body (`{"error": {"status": S, "message": "..."}}`); the daemon
 //! loop never panics on client input.
-
-use std::io::{BufRead, BufReader, Read, Write};
+//!
+//! Connection-level behavior (keep-alive, pipelining, budgets, load
+//! shedding) lives in [`crate::engine`]; this module is the pure
+//! request→response function the engine dispatches through.
 
 use crate::api::{self, StudySpec};
-use crate::http::{parse_request, Request, Response};
+use crate::http::{parse_request_bytes, Request, Response};
 use crate::manager::{Study, StudyManager};
 
 /// Routes one parsed request against the manager.
@@ -32,13 +34,14 @@ pub fn handle(mgr: &mut StudyManager, req: &Request) -> Response {
         ),
         ("POST", ["v1", "studies"]) => match StudySpec::parse(&req.body) {
             Err(e) => Response::error(400, &e),
-            Ok(spec) => {
-                let fresh = mgr.get(&spec.name).is_none();
-                match mgr.submit(spec) {
-                    Ok(study) => status_response(if fresh { 201 } else { 200 }, study),
-                    Err((status, e)) => Response::error(status, &e),
-                }
-            }
+            // Attach-or-report-existing is a single manager call under
+            // whatever lock the caller holds: two racing identical
+            // submissions cannot both observe "absent", so exactly one
+            // reply is a 201 and the rest are idempotent 200s.
+            Ok(spec) => match mgr.submit(spec) {
+                Ok((study, created)) => status_response(if created { 201 } else { 200 }, study),
+                Err((status, e)) => Response::error(status, &e),
+            },
         },
         ("GET", ["v1", "studies"]) => {
             let statuses: Vec<String> = mgr.studies().map(Study::status_json).collect();
@@ -71,30 +74,23 @@ fn unknown_study(name: &str) -> Response {
     Response::error(404, &format!("unknown study '{name}'"))
 }
 
-/// Serves one connection: parse → route → respond. Framing errors
-/// become structured JSON error responses on the same connection; this
-/// function never panics on untrusted bytes.
-pub fn serve_connection<S: Read + Write>(mgr: &mut StudyManager, stream: &mut S) {
-    let response = read_and_route(mgr, BufReader::new(&mut *stream));
-    // The peer may already be gone; nothing useful to do about it.
-    let _ = response.write_to(stream);
-    let _ = stream.flush();
-}
-
-/// The read-side of [`serve_connection`], factored for tests that want
-/// the [`Response`] value rather than wire bytes.
-pub fn read_and_route(mgr: &mut StudyManager, mut reader: impl BufRead) -> Response {
-    match parse_request(&mut reader) {
+/// Routes one complete request frame: parse → route, with framing
+/// errors becoming structured JSON error responses. The one-shot
+/// (single request, `connection: close`) counterpart of the engine's
+/// streaming path — both sit on the same [`crate::http::RequestParser`]
+/// byte-level code.
+pub fn route_bytes(mgr: &mut StudyManager, raw: &[u8]) -> Response {
+    match parse_request_bytes(raw) {
         Ok(req) => handle(mgr, &req),
         Err(e) => Response::of_http_error(&e),
     }
 }
 
-/// Convenience used by the simulator and fuzz tests: feed raw request
-/// bytes through the full parse→route→serialize path and return raw
-/// response bytes.
+/// Convenience used by the fuzz tests and the perf gate: feed raw
+/// request bytes through the full parse→route→serialize path and return
+/// raw response bytes.
 pub fn handle_bytes(mgr: &mut StudyManager, raw: &[u8]) -> Vec<u8> {
-    read_and_route(mgr, BufReader::new(raw)).to_bytes()
+    route_bytes(mgr, raw).to_bytes()
 }
 
 /// Validates a study-spec body the way `POST /v1/studies` will, without

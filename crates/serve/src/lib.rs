@@ -1,12 +1,12 @@
 //! Tuning-as-a-service: the TUNA §6 tune-then-deploy loop behind a
 //! long-lived daemon instead of one-shot batch binaries.
 //!
-//! The crate has four layers, leaf first:
+//! The crate has five layers, leaf first:
 //!
-//! - [`http`]: a hand-rolled, hardened HTTP/1.1 subset (one request per
-//!   connection, `Content-Length` framing, explicit limits). Reads from
-//!   any `BufRead`, so sockets, in-memory buffers and fuzz inputs share
-//!   one code path.
+//! - [`http`]: a hand-rolled, hardened HTTP/1.1 subset (keep-alive and
+//!   pipelining, `Content-Length` framing, explicit limits). The parser
+//!   is incremental and sans-IO, so sockets, in-memory buffers and fuzz
+//!   inputs share one byte-level code path.
 //! - [`api`]: the JSON study schema — a validated [`api::StudySpec`]
 //!   maps 1:1 onto a [`tuna_core::campaign::Campaign`], and its
 //!   canonical serialization is the durable identity the daemon
@@ -16,10 +16,17 @@
 //!   studies share the trial pool; every study streams through a
 //!   checksummed [`tuna_core::campaign::ResultStore`], which is what
 //!   makes a killed daemon resume byte-identically.
+//! - [`engine`]: the per-connection state machine (read-header →
+//!   read-body → dispatch → write-response) with keep-alive,
+//!   pipelining, per-connection byte/time budgets, and bounded
+//!   connection/pipeline queues that shed load with structured
+//!   `408`/`429`/`503` responses.
 //! - [`daemon`] / [`sim`]: request routing shared by the real `tunad`
-//!   binary (TCP listener + worker threads) and the deterministic
-//!   loopback [`sim::SimServer`] (virtual listener, clock and worker
-//!   pool) that integration tests and the perf gate drive.
+//!   binary (a single-threaded readiness loop over non-blocking
+//!   sockets, plus worker threads for cell execution) and the
+//!   deterministic loopback [`sim::SimServer`] (virtual listener, clock
+//!   and worker pool) that integration tests and the perf gate drive —
+//!   both driving the *same* [`engine::Engine`].
 //!
 //! # Determinism contract
 //!
@@ -34,6 +41,7 @@
 
 pub mod api;
 pub mod daemon;
+pub mod engine;
 pub mod http;
 pub mod manager;
 pub mod sim;
@@ -157,6 +165,85 @@ mod robustness {
             let len = (rng.next_u64() % 600) as usize;
             let garbage: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
             assert_structured(&garbage);
+        }
+    }
+
+    /// Pipelined variant of the frame fuzzing: N valid keep-alive
+    /// requests with a malformed frame spliced in at every position.
+    /// The engine must answer the valid prefix in order, answer the
+    /// malformed frame with a structured error, drop the unanswerable
+    /// suffix, and close — never panic — at 1 and 4 workers.
+    #[test]
+    fn pipelined_malformed_frame_at_every_position() {
+        use crate::http::request_bytes_with;
+        use crate::sim::SimServer;
+
+        // Frames whose head is malformed outright, so they fail the
+        // same way at any pipeline position (a *truncated* frame, by
+        // contrast, would swallow the next frame's bytes as body — that
+        // is correct framing behavior, not an error case).
+        let malformed: &[&[u8]] = &[
+            b"BROKEN\r\n\r\n",
+            b"GET /healthz SPDY/9\r\n\r\n",
+            b"GET healthz HTTP/1.1\r\n\r\n",
+            b"POST /v1/studies HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"POST /v1/studies HTTP/1.1\r\ncontent-length: 10\r\ncontent-length: 20\r\n\r\n",
+            b"POST /v1/studies HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ];
+        let spec = r#"{"name": "p", "seed": 5, "runs": 1, "rounds": 2,
+                       "workloads": ["tpcc"],
+                       "arms": [{"label": "Default", "method": "default"}]}"#;
+        let valid: Vec<Vec<u8>> = vec![
+            request_bytes_with("GET", "/healthz", "", true),
+            request_bytes_with("POST", "/v1/studies", spec, true),
+            request_bytes_with("GET", "/v1/studies/p", "", true),
+            request_bytes_with("GET", "/v1/studies", "", true),
+        ];
+        for workers in [1usize, 4] {
+            for bad in malformed {
+                for pos in 0..=valid.len() {
+                    // A fresh server per splice keeps the expected
+                    // statuses independent of submission history.
+                    let mut sim = SimServer::new(None, workers).unwrap();
+                    let conn = sim.connect();
+                    let mut bytes = Vec::new();
+                    for frame in &valid[..pos] {
+                        bytes.extend_from_slice(frame);
+                    }
+                    bytes.extend_from_slice(bad);
+                    for frame in &valid[pos..] {
+                        bytes.extend_from_slice(frame);
+                    }
+                    sim.send(conn, &bytes);
+                    let raw = sim.recv(conn);
+                    let replies = crate::http::split_responses(&raw)
+                        .expect("every reply is well-formed HTTP");
+                    assert_eq!(
+                        replies.len(),
+                        pos + 1,
+                        "valid prefix + one error (workers={workers}, pos={pos})"
+                    );
+                    for (status, body) in &replies[..pos] {
+                        assert!(
+                            *status == 200 || *status == 201,
+                            "prefix reply {status}: {body}"
+                        );
+                        json::parse(body).expect("prefix reply body is valid JSON");
+                    }
+                    let (status, body) = replies.last().expect("error reply");
+                    assert_eq!(*status, 400, "{body}");
+                    let err = json::parse(body)
+                        .expect("error body is valid JSON")
+                        .get("error")
+                        .cloned()
+                        .expect("structured error object");
+                    assert!(err
+                        .get("message")
+                        .and_then(json::Value::as_str)
+                        .is_some_and(|m| !m.is_empty()));
+                    assert!(sim.wants_close(conn), "connection closes after the error");
+                }
+            }
         }
     }
 }

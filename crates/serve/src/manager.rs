@@ -252,18 +252,23 @@ impl StudyManager {
         Ok(self.studies.get(&name).expect("just inserted"))
     }
 
-    /// Accepts a submission. Re-submitting a byte-identical declaration
-    /// is idempotent (the existing study is returned); a different
-    /// declaration under an existing name is refused.
+    /// Accepts a submission: attach-or-report-existing as one atomic
+    /// step under the manager (and therefore the caller's lock).
+    /// Re-submitting a byte-identical declaration is idempotent — the
+    /// existing study comes back with `created = false`; a different
+    /// declaration under an existing name is refused. Because the
+    /// existence check and the attach happen inside this single
+    /// `&mut self` call, two racing identical submissions get exactly
+    /// one `created = true` between them.
     ///
     /// # Errors
     ///
     /// Returns `(status, message)`: `409` on a name collision with a
     /// different declaration, `500` on persistence failures.
-    pub fn submit(&mut self, spec: StudySpec) -> Result<&Study, (u16, String)> {
+    pub fn submit(&mut self, spec: StudySpec) -> Result<(&Study, bool), (u16, String)> {
         if let Some(existing) = self.studies.get(&spec.name) {
             return if existing.spec == spec {
-                Ok(self.studies.get(&spec.name).expect("present"))
+                Ok((self.studies.get(&spec.name).expect("present"), false))
             } else {
                 Err((
                     409,
@@ -286,7 +291,7 @@ impl StudyManager {
                 return Err((500, e));
             }
         }
-        Ok(self.studies.get(&name).expect("just attached"))
+        Ok((self.studies.get(&name).expect("just attached"), true))
     }
 
     /// Looks up a study.

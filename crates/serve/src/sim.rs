@@ -1,22 +1,26 @@
 //! Deterministic loopback mode: the whole daemon —
-//! request→schedule→execute→respond — without sockets, threads or
-//! wall-clock.
+//! accept→read→parse→schedule→execute→respond — without sockets,
+//! threads or wall-clock.
 //!
-//! [`SimServer`] holds the same [`StudyManager`] the real daemon locks,
-//! a virtual worker pool of fixed width, and a tick counter for a
-//! clock. Requests travel as real wire bytes through the exact
-//! parse/route/serialize path `tunad` uses; [`SimServer::step`] models
-//! one scheduling quantum: claim up to `workers` fair-share
-//! assignments, execute them (serially, in assignment order — cells
-//! are pure functions, so this is bit-identical to any interleaving),
-//! and record the results. Dropping a `SimServer` between steps *is*
-//! the kill: whatever the journal holds survives, and a new `SimServer`
-//! over the same data directory resumes exactly there.
+//! [`SimServer`] holds the same [`StudyManager`] the real daemon locks
+//! and the same connection [`Engine`] the real daemon drives — the
+//! only things simulated are the transport (in-memory byte buffers
+//! instead of sockets) and the clock (scheduler ticks instead of
+//! milliseconds). Requests travel as real wire bytes through the exact
+//! parse/route/serialize state machine `tunad` uses, including
+//! keep-alive, pipelining and the budget/shed behavior.
+//! [`SimServer::step`] models one scheduling quantum: advance the
+//! clock, claim up to `workers` fair-share assignments, execute them
+//! (serially, in assignment order — cells are pure functions, so this
+//! is bit-identical to any interleaving), and record the results.
+//! Dropping a `SimServer` between steps *is* the kill: whatever the
+//! journal holds survives, and a new `SimServer` over the same data
+//! directory resumes exactly there.
 
 use std::path::PathBuf;
 
-use crate::daemon;
-use crate::http::{self, Response};
+use crate::engine::{Engine, EngineConfig};
+use crate::http::{self, HttpError, Response};
 use crate::manager::StudyManager;
 use tuna_core::campaign::execute_cell;
 use tuna_core::executor::ExecutionMode;
@@ -25,6 +29,7 @@ use tuna_core::executor::ExecutionMode;
 /// pool.
 pub struct SimServer {
     mgr: StudyManager,
+    engine: Engine,
     workers: usize,
     ticks: u64,
 }
@@ -38,21 +43,114 @@ impl SimServer {
     ///
     /// Propagates [`StudyManager::open`] failures.
     pub fn new(data_dir: Option<PathBuf>, workers: usize) -> Result<Self, String> {
+        Self::with_engine_config(data_dir, workers, EngineConfig::sim_default())
+    }
+
+    /// A simulator with explicit engine budgets (tick units).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StudyManager::open`] failures.
+    pub fn with_engine_config(
+        data_dir: Option<PathBuf>,
+        workers: usize,
+        cfg: EngineConfig,
+    ) -> Result<Self, String> {
         let mgr = match data_dir {
             None => StudyManager::in_memory(),
             Some(dir) => StudyManager::open(dir)?,
         };
         Ok(SimServer {
             mgr,
+            engine: Engine::new(cfg),
             workers: workers.max(1),
             ticks: 0,
         })
     }
 
-    /// Feeds raw request bytes through the full wire path; returns raw
-    /// response bytes.
+    // --- Virtual listener: connection-level API. ---------------------
+
+    /// Accepts a new virtual connection (may be shed with a `503` once
+    /// the engine is at capacity — exactly like the real listener).
+    pub fn connect(&mut self) -> usize {
+        self.engine.connect(self.ticks)
+    }
+
+    /// Feeds bytes into a connection without dispatching — the "peer
+    /// wrote to the socket" half, so tests can control when dispatch
+    /// happens relative to the clock.
+    pub fn feed(&mut self, conn: usize, bytes: &[u8]) {
+        self.engine.recv(conn, bytes, self.ticks);
+    }
+
+    /// Dispatches every queued request against the manager (the "event
+    /// loop ran" half). Returns how many requests were answered.
+    pub fn dispatch(&mut self) -> usize {
+        self.engine.dispatch(&mut self.mgr, self.ticks)
+    }
+
+    /// Feeds bytes and dispatches — the common case.
+    pub fn send(&mut self, conn: usize, bytes: &[u8]) {
+        self.feed(conn, bytes);
+        self.dispatch();
+    }
+
+    /// Drains a connection's buffered response bytes.
+    pub fn recv(&mut self, conn: usize) -> Vec<u8> {
+        self.engine.take_output(conn)
+    }
+
+    /// Signals peer EOF on a connection.
+    pub fn finish(&mut self, conn: usize) {
+        self.engine.on_eof(conn);
+        self.dispatch();
+    }
+
+    /// Whether the engine has decided to close this connection (all
+    /// owed bytes already readable via [`SimServer::recv`]).
+    pub fn wants_close(&self, conn: usize) -> bool {
+        self.engine.wants_close(conn)
+    }
+
+    /// Advances the virtual clock by one tick *without* running the
+    /// scheduler — models wall-time passing on an otherwise idle
+    /// daemon, which is what trips time budgets (`408`, idle closes).
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        self.engine.on_tick(self.ticks);
+    }
+
+    /// Direct engine access for assertions.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (latency draining in the perf gate).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    // --- One-shot request helpers (the historical API). --------------
+
+    /// Feeds raw request bytes through the full wire path on a fresh
+    /// one-shot connection; returns raw response bytes.
     pub fn request_bytes(&mut self, raw: &[u8]) -> Vec<u8> {
-        daemon::handle_bytes(&mut self.mgr, raw)
+        let conn = self.connect();
+        self.send(conn, raw);
+        self.engine.on_eof(conn);
+        self.dispatch();
+        let mut out = self.engine.take_output(conn);
+        if out.is_empty() {
+            // The frame never completed and EOF landed between requests
+            // from the parser's point of view — the one-shot contract
+            // still owes the peer an answer.
+            out = Response::of_http_error(&HttpError::Truncated(
+                "connection closed mid-request".into(),
+            ))
+            .to_bytes();
+        }
+        self.engine.disconnect(conn);
+        out
     }
 
     /// Convenience request: builds the wire bytes, runs them through
@@ -63,11 +161,14 @@ impl SimServer {
         http::parse_response(&raw).unwrap_or_else(|e| (500, Response::error(500, &e).body))
     }
 
-    /// One scheduling quantum: claims up to `workers` assignments under
-    /// fair share, executes them all, records the results. Returns the
-    /// `(study, cell)` pairs that completed this tick.
+    // --- Virtual worker pool. ----------------------------------------
+
+    /// One scheduling quantum: advances the clock, claims up to
+    /// `workers` assignments under fair share, executes them all,
+    /// records the results. Returns the `(study, cell)` pairs that
+    /// completed this tick.
     pub fn step(&mut self) -> Vec<(String, usize)> {
-        self.ticks += 1;
+        self.tick();
         let mut claimed = Vec::new();
         for _ in 0..self.workers {
             match self.mgr.next_assignment() {
@@ -101,7 +202,7 @@ impl SimServer {
         !self.mgr.has_pending()
     }
 
-    /// Virtual clock: completed scheduling quanta.
+    /// Virtual clock: elapsed ticks.
     pub fn ticks(&self) -> u64 {
         self.ticks
     }
@@ -115,11 +216,17 @@ impl SimServer {
     pub fn manager(&self) -> &StudyManager {
         &self.mgr
     }
+
+    /// Mutable manager access (synthetic completions in the perf gate).
+    pub fn manager_mut(&mut self) -> &mut StudyManager {
+        &mut self.mgr
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::http::{request_bytes_with, split_responses};
 
     fn spec_body(name: &str, runs: usize) -> String {
         format!(
@@ -167,5 +274,27 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(4));
         assert_eq!(serial, run(7));
+    }
+
+    #[test]
+    fn keep_alive_connection_spans_scheduler_ticks() {
+        let mut sim = SimServer::new(None, 1).unwrap();
+        let conn = sim.connect();
+        sim.send(
+            conn,
+            &request_bytes_with("POST", "/v1/studies", &spec_body("k", 2), true),
+        );
+        let submit = split_responses(&sim.recv(conn)).unwrap();
+        assert_eq!(submit.len(), 1);
+        assert_eq!(submit[0].0, 201);
+
+        sim.run_to_completion();
+
+        // Same connection, later tick: still open, still answering.
+        sim.send(conn, &request_bytes_with("GET", "/v1/studies/k", "", true));
+        let status = split_responses(&sim.recv(conn)).unwrap();
+        assert_eq!(status[0].0, 200);
+        assert!(status[0].1.contains("\"state\": \"done\""));
+        assert!(!sim.wants_close(conn));
     }
 }

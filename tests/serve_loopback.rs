@@ -184,6 +184,126 @@ fn kill_restart_resume_is_byte_identical_across_workers_and_batch() {
     let _ = std::fs::remove_dir_all(&batch_dir);
 }
 
+/// A slowloris peer — half a request, then silence — must not pin its
+/// connection slot forever: once the per-connection time budget lapses
+/// the daemon answers a structured `408` and closes the slot, while
+/// other clients keep being served throughout.
+#[test]
+fn stalled_half_request_is_shed_with_408() {
+    let mut sim = SimServer::new(None, 1).unwrap();
+    let loris = sim.connect();
+    sim.send(
+        loris,
+        b"POST /v1/studies HTTP/1.1\r\ncontent-length: 999\r\n\r\n{\"na",
+    );
+    assert!(sim.recv(loris).is_empty(), "no complete frame, no reply");
+
+    // A healthy client is unaffected while the slowloris stalls.
+    let budget = tuna::serve::engine::EngineConfig::sim_default().request_time_budget;
+    for _ in 0..=budget {
+        sim.tick();
+        let ok = sim.connect();
+        sim.send(ok, &tuna::serve::http::request_bytes("GET", "/healthz", ""));
+        let (status, _) = tuna::serve::http::parse_response(&sim.recv(ok)).expect("healthz reply");
+        assert_eq!(status, 200);
+    }
+    sim.dispatch();
+
+    let raw = sim.recv(loris);
+    let replies = tuna::serve::http::split_responses(&raw).unwrap();
+    assert_eq!(replies.len(), 1);
+    let (status, body) = &replies[0];
+    assert_eq!(*status, 408, "{body}");
+    assert!(body.contains("time budget"), "{body}");
+    assert!(sim.wants_close(loris), "the stalled slot is reclaimed");
+    assert_eq!(sim.engine().timeout_total(), 1);
+}
+
+/// Two clients racing identical submissions: attach-or-report-existing
+/// is atomic under the manager, so exactly one gets `201 Created`, the
+/// other the idempotent `200`, and exactly one store lands on disk.
+#[test]
+fn racing_identical_submissions_create_exactly_once() {
+    let dir = fresh_dir("race");
+    let mut sim = SimServer::new(Some(dir.clone()), 1).unwrap();
+    let first = sim.connect();
+    let second = sim.connect();
+    // Both requests are fully buffered before either dispatches — the
+    // tightest interleaving the wire allows.
+    sim.feed(
+        first,
+        &tuna::serve::http::request_bytes("POST", "/v1/studies", ALPHA),
+    );
+    sim.feed(
+        second,
+        &tuna::serve::http::request_bytes("POST", "/v1/studies", ALPHA),
+    );
+    sim.dispatch();
+    let reply = |raw: Vec<u8>| tuna::serve::http::parse_response(&raw).expect("reply").0;
+    let statuses = (reply(sim.recv(first)), reply(sim.recv(second)));
+    assert_eq!(statuses, (201, 200), "one creation, one idempotent attach");
+
+    // One spec, one journal — not two studies' worth of files.
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("alpha"))
+        .collect();
+    assert!(files.contains(&"alpha.spec.json".to_string()), "{files:?}");
+    assert_eq!(
+        files.iter().filter(|n| n.ends_with(".spec.json")).count(),
+        1,
+        "{files:?}"
+    );
+    sim.run_to_completion();
+    let body = results(&mut sim, "alpha");
+    assert!(body.contains("\"completed\": 4"), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A daemon killed mid-append leaves a torn journal tail; the restarted
+/// daemon must repair it (drop the torn cell, keep the rest) and still
+/// finish byte-identical to an uninterrupted run.
+#[test]
+fn torn_journal_tail_is_repaired_on_restart() {
+    let ref_dir = fresh_dir("torn-ref");
+    let mut sim = SimServer::new(Some(ref_dir.clone()), 1).unwrap();
+    submit(&mut sim, ALPHA);
+    sim.run_to_completion();
+    let reference = results(&mut sim, "alpha");
+    drop(sim);
+
+    let dir = fresh_dir("torn-kill");
+    let mut sim = SimServer::new(Some(dir.clone()), 1).unwrap();
+    submit(&mut sim, ALPHA);
+    sim.step();
+    sim.step();
+    drop(sim); // the kill...
+
+    // ...landed mid-append: tear the journal's final line.
+    let journal = dir.join("alpha.csv");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    std::fs::write(&journal, &text.as_bytes()[..text.len() - 9]).unwrap();
+
+    let mut sim = SimServer::new(Some(dir.clone()), 1).unwrap();
+    let reloaded: usize = sim
+        .manager()
+        .studies()
+        .map(tuna::serve::manager::Study::completed)
+        .sum();
+    assert_eq!(reloaded, 1, "torn cell dropped, intact cell kept");
+    submit(&mut sim, ALPHA); // idempotent re-attach, as a client would
+    let executed = sim.run_to_completion();
+    assert_eq!(executed, 3, "the torn cell and the remaining cells");
+    assert_eq!(
+        results(&mut sim, "alpha"),
+        reference,
+        "repaired resume is byte-identical to uninterrupted"
+    );
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn restarted_daemon_refuses_conflicting_resubmission() {
     let dir = fresh_dir("conflict");

@@ -1,0 +1,53 @@
+//! Arena study — solver generality under noise regimes.
+//!
+//! Grids noise regime (region) × solver over TPC-C: the full TUNA
+//! pipeline, the registry solvers it subsumes (SMAC, GP, random), and
+//! the DarwinGame-style tournament whose head-to-head matches share one
+//! machine and noise draw per round. The comparison asks whether
+//! match-based noise cancellation can stand in for TUNA's filtering as
+//! regions get noisier — and is bit-identical for any `TUNA_WORKERS`.
+
+use tuna_bench::{banner, campaign_method_table, run_campaign, HarnessArgs};
+use tuna_core::campaign::Campaign;
+use tuna_core::executor::ExecutionMode;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "Arena study",
+        "TPC-C across (noise regime x solver) head-to-head arenas",
+        "match-based noise cancellation vs TUNA filtering as regions get noisier",
+    );
+    let samples = args.rounds_or(16, 96, 240);
+
+    let campaign = Campaign::arena(
+        "arena_solvers",
+        args.seed,
+        vec![tuna_workloads::tpcc()],
+        &["westus2", "centralus"],
+        &["tuna", "smac", "gp", "random", "tournament"],
+        samples,
+    );
+    let exp = campaign.experiment(0, ExecutionMode::Serial);
+    let result = run_campaign(&args, &campaign);
+    let entries = campaign_method_table(&campaign, &result, 0, exp.workload.metric.unit());
+
+    // Tournament resilience: how much of its westus2 deployment mean each
+    // solver keeps when moved to the noisy region.
+    let get = |label: &str| {
+        entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
+    for solver in ["tuna", "smac", "gp", "random", "tournament"] {
+        let calm = get(&format!("westus2/{solver}"));
+        let noisy = get(&format!("centralus/{solver}"));
+        println!(
+            "{solver:>10}: centralus keeps {:5.1}% of westus2 mean (std {:.2}x)",
+            noisy.mean_of_means / calm.mean_of_means * 100.0,
+            noisy.mean_std / calm.mean_std.max(1e-9),
+        );
+    }
+}

@@ -59,7 +59,7 @@ fn main() {
             measured.push((out.value, s.config));
         }
         // Top-8 per run: the configs that would reach multi-node budgets.
-        measured.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        measured.sort_by(|a, b| b.0.total_cmp(&a.0));
         seen_configs.extend(measured.into_iter().take(8).map(|(_, c)| c));
     }
 

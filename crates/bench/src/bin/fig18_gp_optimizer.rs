@@ -8,7 +8,7 @@
 use tuna_bench::{banner, campaign_method_table, paper_vs, run_campaign, HarnessArgs};
 use tuna_core::campaign::Campaign;
 use tuna_core::executor::ExecutionMode;
-use tuna_core::experiment::OptimizerKind;
+use tuna_core::experiment::SolverId;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -29,7 +29,7 @@ fn main() {
     )
     .with_runs(runs)
     .with_rounds(rounds)
-    .with_optimizer(OptimizerKind::Gp);
+    .with_optimizer(SolverId::gp());
     let exp = campaign.experiment(0, ExecutionMode::Serial);
     let result = run_campaign(&args, &campaign);
     let results = campaign_method_table(&campaign, &result, 0, exp.workload.metric.unit());

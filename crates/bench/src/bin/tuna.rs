@@ -11,14 +11,14 @@
 //! ```
 
 use tuna_cloudsim::{Region, VmSku};
-use tuna_core::experiment::{Experiment, Method, OptimizerKind};
+use tuna_core::experiment::{Experiment, Method, SolverId};
 use tuna_core::report::deploy_line;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tuna [--workload tpcc|epinions|tpch|mssales|ycsb-c|wikipedia]\n\
          \x20           [--method tuna|traditional|naive|no-outlier|no-adjuster|default]\n\
-         \x20           [--optimizer smac|gp] [--rounds N] [--seed N]\n\
+         \x20           [--optimizer smac|gp|random|tournament] [--rounds N] [--seed N]\n\
          \x20           [--region westus2|eastus|centralus|cloudlab]\n\
          \x20           [--sku d8s_v5|b8ms|c220g5] [--deploy-vms N]"
     );
@@ -61,11 +61,7 @@ fn main() {
                 i += 1;
             }
             "--optimizer" => {
-                exp.optimizer = match need(i).as_str() {
-                    "smac" => OptimizerKind::Smac,
-                    "gp" => OptimizerKind::Gp,
-                    _ => usage(),
-                };
+                exp.optimizer = SolverId::new(&need(i)).unwrap_or_else(|_| usage());
                 i += 1;
             }
             "--rounds" => {

@@ -67,6 +67,22 @@ impl Region {
             crowded_penalty: 0.0,
         }
     }
+
+    /// Every built-in region, in a fixed order (noise-regime axes of
+    /// campaign grids iterate this).
+    pub fn all() -> Vec<Region> {
+        vec![
+            Region::westus2(),
+            Region::eastus(),
+            Region::centralus(),
+            Region::cloudlab(),
+        ]
+    }
+
+    /// Looks up a built-in region by name.
+    pub fn by_name(name: &str) -> Option<Region> {
+        Region::all().into_iter().find(|r| r.name == name)
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +102,14 @@ mod tests {
         let r = Region::cloudlab();
         assert_eq!(r.crowded_prob, 0.0);
         assert_eq!(r.crowded_penalty, 0.0);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for region in Region::all() {
+            assert_eq!(Region::by_name(&region.name), Some(region.clone()));
+        }
+        assert_eq!(Region::by_name("marsnorth1"), None);
     }
 
     #[test]

@@ -50,15 +50,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::aggregate::AggregationPolicy;
-use crate::baselines::run_naive_distributed;
+use crate::baselines::{run_arena, run_naive_distributed};
 use crate::deploy::{default_worst_case_with, evaluate_deployment_with};
 use crate::executor::ExecutionMode;
-use crate::experiment::{Experiment, Method, OptimizerKind, RunSummary};
+use crate::experiment::{Experiment, Method, RunSummary, SolverId};
 use crate::pipeline::{TunaConfig, TunaPipeline, TuningResult};
 use crate::report::{summarize_method, MethodSummary};
-use tuna_cloudsim::Cluster;
+use tuna_cloudsim::{Cluster, Region};
 use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::SmacOptimizer;
 use tuna_stats::fnv::Checksum;
 use tuna_stats::rng::{hash_combine, Rng};
 use tuna_workloads::Workload;
@@ -131,6 +130,61 @@ pub struct ConvergenceSpec {
     pub rng_label: u64,
 }
 
+/// A head-to-head arena cell: one (noise regime × solver) point of an
+/// arena grid. Registry solvers tune through [`run_arena`], which hands
+/// every member of a match group the *same* machine snapshot and noise
+/// draw ([`tuna_optimizer::solver::Capabilities::match_size`] sets the
+/// group width — 2 for the tournament solver's matches). The sentinel
+/// solver name [`ArenaSpec::TUNA`] runs the full TUNA pipeline instead,
+/// so the grid can compare TUNA's noise-filtering against match-based
+/// noise cancellation under each regime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaSpec {
+    /// Solver registry name, or [`ArenaSpec::TUNA`] for the pipeline.
+    pub solver: String,
+    /// Noise regime: a built-in [`Region`] name overriding the
+    /// experiment's region.
+    pub region: String,
+    /// Total sample budget.
+    pub samples: usize,
+}
+
+impl ArenaSpec {
+    /// Sentinel solver name selecting the full TUNA pipeline.
+    pub const TUNA: &'static str = "tuna";
+
+    /// Creates a validated spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solver` is neither [`ArenaSpec::TUNA`] nor a registry
+    /// name, or `region` is not a built-in region.
+    pub fn new(solver: &str, region: &str, samples: usize) -> Self {
+        if solver != Self::TUNA {
+            SolverId::new(solver).unwrap_or_else(|e| panic!("arena arm: {e}"));
+        }
+        assert!(
+            Region::by_name(region).is_some(),
+            "arena arm: unknown region {region:?}"
+        );
+        ArenaSpec {
+            solver: solver.to_string(),
+            region: region.to_string(),
+            samples,
+        }
+    }
+
+    /// The per-arm seed salt: FNV-1a over (region, solver), so arena
+    /// arms can never collide with each other or with hand-salted
+    /// protocol arms no matter which grid they appear in.
+    fn seed_salt(&self) -> u64 {
+        let mut c = Checksum::new();
+        c.push_str(&self.region);
+        c.push_str(&self.solver);
+        c.value()
+    }
+}
+
 /// How one arm of the grid evaluates a cell.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Recipe {
@@ -150,6 +204,8 @@ pub enum Recipe {
     SampleBudget(SampleBudgetSpec),
     /// A TUNA + naive-distributed convergence pair.
     Convergence(ConvergenceSpec),
+    /// A head-to-head arena run (noise regime × solver).
+    Arena(ArenaSpec),
 }
 
 impl Recipe {
@@ -166,6 +222,7 @@ impl Recipe {
             Recipe::Protocol { .. } => 1,
             Recipe::SampleBudget(_) => 2,
             Recipe::Convergence(_) => 3,
+            Recipe::Arena(_) => 4,
         }
     }
 }
@@ -207,8 +264,8 @@ pub struct Campaign {
     pub runs: usize,
     /// Tuning rounds for [`Recipe::Protocol`] arms ([`Experiment::rounds`]).
     pub rounds: usize,
-    /// Optimizer driving protocol and sample-budget arms.
-    pub optimizer: OptimizerKind,
+    /// Solver (registry name) driving protocol and sample-budget arms.
+    pub optimizer: SolverId,
     /// Workload axis (each workload determines its SuT).
     pub workloads: Vec<Workload>,
     /// Method axis.
@@ -228,12 +285,51 @@ impl Campaign {
             seed,
             runs: 1,
             rounds: 96,
-            optimizer: OptimizerKind::Smac,
+            optimizer: SolverId::smac(),
             workloads,
             arms: methods
                 .iter()
                 .map(|(label, m)| Arm::new(*label, Recipe::protocol(*m)))
                 .collect(),
+        }
+    }
+
+    /// An arena campaign gridding noise regimes × solvers: every
+    /// `(region, solver)` pair becomes one arm labeled
+    /// `"{region}/{solver}"`. Solver names are registry names plus the
+    /// [`ArenaSpec::TUNA`] sentinel for the full pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a solver or region name is unknown (see
+    /// [`ArenaSpec::new`]).
+    pub fn arena(
+        name: impl Into<String>,
+        seed: u64,
+        workloads: Vec<Workload>,
+        regions: &[&str],
+        solvers: &[&str],
+        samples: usize,
+    ) -> Self {
+        let arms = regions
+            .iter()
+            .flat_map(|region| {
+                solvers.iter().map(move |solver| {
+                    Arm::new(
+                        format!("{region}/{solver}"),
+                        Recipe::Arena(ArenaSpec::new(solver, region, samples)),
+                    )
+                })
+            })
+            .collect();
+        Campaign {
+            name: name.into(),
+            seed,
+            runs: 1,
+            rounds: 96,
+            optimizer: SolverId::smac(),
+            workloads,
+            arms,
         }
     }
 
@@ -249,8 +345,8 @@ impl Campaign {
         self
     }
 
-    /// Sets the optimizer kind.
-    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+    /// Sets the solver driving protocol and sample-budget arms.
+    pub fn with_optimizer(mut self, optimizer: SolverId) -> Self {
         self.optimizer = optimizer;
         self
     }
@@ -289,7 +385,7 @@ impl Campaign {
         let (_, arm, _) = self.coords(cell);
         match self.arms[arm].recipe {
             Recipe::Convergence(_) => 2,
-            Recipe::Protocol { .. } | Recipe::SampleBudget(_) => 1,
+            Recipe::Protocol { .. } | Recipe::SampleBudget(_) | Recipe::Arena(_) => 1,
         }
     }
 
@@ -302,9 +398,13 @@ impl Campaign {
         c.push_u64(self.seed);
         c.push_u64(self.runs as u64);
         c.push_u64(self.rounds as u64);
-        c.push_u64(match self.optimizer {
-            OptimizerKind::Smac => 1,
-            OptimizerKind::Gp => 2,
+        // Store-format v1 pinned 1/2 for the original smac/gp enum;
+        // solvers registered since fold their FNV-1a name hash, which
+        // cannot collide with the small hand-numbered range.
+        c.push_u64(match self.optimizer.as_str() {
+            "smac" => 1,
+            "gp" => 2,
+            _ => self.optimizer.name_hash(),
         });
         for w in &self.workloads {
             c.push_str(w.name);
@@ -345,6 +445,11 @@ impl Campaign {
                     c.push_u64(s.seed_salt);
                     c.push_u64(s.rng_label);
                 }
+                Recipe::Arena(s) => {
+                    c.push_str(&s.solver);
+                    c.push_str(&s.region);
+                    c.push_u64(s.samples as u64);
+                }
             }
         }
         c.hex()
@@ -357,7 +462,7 @@ impl Campaign {
     pub fn experiment(&self, workload: usize, exec: ExecutionMode) -> Experiment {
         let mut exp = Experiment::paper_default(self.workloads[workload].clone());
         exp.rounds = self.rounds;
-        exp.optimizer = self.optimizer;
+        exp.optimizer = self.optimizer.clone();
         exp.exec = exec;
         exp
     }
@@ -1270,6 +1375,12 @@ pub fn execute_cell(
                 CellPayload::Pair { tuna, naive },
             )
         }
+        Recipe::Arena(spec) => {
+            let seed = hash_combine(hash_combine(campaign.seed, spec.seed_salt()), run as u64);
+            let summary = run_arena_cell(&exp, spec, seed, inner);
+            let rows = vec![CellRow::of_summary(&arm.label, seed, &summary)];
+            (CellRecord::new(cell, rows), CellPayload::Run(summary))
+        }
     }
 }
 
@@ -1301,19 +1412,12 @@ fn run_sample_budget(
     if let Some(threshold) = spec.outlier_threshold {
         cfg.outlier_threshold = threshold;
     }
-    let optimizer = SmacOptimizer::multi_fidelity(
-        sut.space().clone(),
-        exp.objective(),
-        exp.smac.clone(),
-        ladder,
-    );
-    let mut pipeline = TunaPipeline::new(
-        cfg,
-        sut.as_ref(),
-        &exp.workload,
-        Box::new(optimizer),
-        base.clone(),
-    );
+    let mut params = exp.solver_params(true);
+    params.ladder = ladder;
+    let optimizer = exp
+        .optimizer
+        .build(sut.space().clone(), exp.objective(), &params);
+    let mut pipeline = TunaPipeline::new(cfg, sut.as_ref(), &exp.workload, optimizer, base.clone());
     pipeline.run_until_samples(spec.samples, &mut rng);
     let result = pipeline.finish();
     let deployment = evaluate_deployment_with(
@@ -1350,36 +1454,125 @@ fn run_convergence(
     let mut rng = Rng::seed_from(hash_combine(seed, spec.rng_label));
     let crash_penalty = default_worst_case_with(inner, sut.as_ref(), &exp.workload, &base, &rng);
 
-    let optimizer = SmacOptimizer::multi_fidelity(
+    let optimizer = exp.optimizer.build(
         sut.space().clone(),
         exp.objective(),
-        exp.smac.clone(),
-        LadderParams::paper_default(),
+        &exp.solver_params(true),
     );
     let mut cfg = TunaConfig::paper_default(crash_penalty);
     cfg.mode = inner;
-    let mut pipeline = TunaPipeline::new(
-        cfg,
-        sut.as_ref(),
-        &exp.workload,
-        Box::new(optimizer),
-        base.clone(),
-    );
+    let mut pipeline = TunaPipeline::new(cfg, sut.as_ref(), &exp.workload, optimizer, base.clone());
     pipeline.run_until_samples(spec.samples, &mut rng);
     let tuna = pipeline.finish();
 
-    let naive_opt = SmacOptimizer::new(sut.space().clone(), exp.objective(), exp.smac.clone());
+    let naive_opt = exp.optimizer.build(
+        sut.space().clone(),
+        exp.objective(),
+        &exp.solver_params(false),
+    );
     let naive = run_naive_distributed(
         inner,
         sut.as_ref(),
         &exp.workload,
-        Box::new(naive_opt),
+        naive_opt,
         base,
         spec.samples,
         crash_penalty,
         &mut rng,
     );
     (tuna, naive)
+}
+
+/// One arena cell: region override, then either the full TUNA pipeline
+/// (the [`ArenaSpec::TUNA`] sentinel) or [`run_arena`] with the named
+/// registry solver on a single-machine arena, then a deployment of the
+/// winner — so arena rows carry the same deploy statistics as protocol
+/// rows and land in the same store columns.
+fn run_arena_cell(
+    exp: &Experiment,
+    spec: &ArenaSpec,
+    seed: u64,
+    inner: ExecutionMode,
+) -> RunSummary {
+    // RNG labels for the arena recipe's independent streams.
+    const ARENA_CLUSTER_LABEL: u64 = 0xA7_0001;
+    const ARENA_RNG_LABEL: u64 = 0xA7_0002;
+    const ARENA_MATCH_LABEL: u64 = 0xA7_0003;
+    const ARENA_DEPLOY_LABEL: u64 = 0xA7_0004;
+
+    let mut exp = exp.clone();
+    exp.region = Region::by_name(&spec.region)
+        .unwrap_or_else(|| panic!("arena cell: unknown region {:?}", spec.region));
+    let sut = exp.make_sut();
+    let base = Cluster::new(
+        exp.cluster_size,
+        exp.sku.clone(),
+        exp.region.clone(),
+        hash_combine(seed, ARENA_CLUSTER_LABEL),
+    );
+    let mut rng = Rng::seed_from(hash_combine(seed, ARENA_RNG_LABEL));
+    let crash_penalty = default_worst_case_with(inner, sut.as_ref(), &exp.workload, &base, &rng);
+
+    let (best_config, tuning) = if spec.solver == ArenaSpec::TUNA {
+        let mut cfg = TunaConfig::paper_default(crash_penalty);
+        cfg.mode = inner;
+        cfg.cluster_size = exp.cluster_size;
+        let optimizer = SolverId::smac().build(
+            sut.space().clone(),
+            exp.objective(),
+            &exp.solver_params(true),
+        );
+        let mut pipeline =
+            TunaPipeline::new(cfg, sut.as_ref(), &exp.workload, optimizer, base.clone());
+        pipeline.run_until_samples(spec.samples, &mut rng);
+        let result = pipeline.finish();
+        (result.best_config.clone(), result)
+    } else {
+        let id = SolverId::new(&spec.solver).unwrap_or_else(|e| panic!("arena cell: {e}"));
+        let match_size = id.capabilities().match_size;
+        let solver = id.build(
+            sut.space().clone(),
+            exp.objective(),
+            &exp.solver_params(false),
+        );
+        // Matches play on one machine so both sides share its noise draw.
+        let arena = Cluster::new(
+            1,
+            exp.sku.clone(),
+            exp.region.clone(),
+            hash_combine(seed, ARENA_MATCH_LABEL),
+        );
+        let result = run_arena(
+            sut.as_ref(),
+            &exp.workload,
+            solver,
+            arena,
+            spec.samples,
+            match_size,
+            crash_penalty,
+            &mut rng,
+        );
+        (result.best_config.clone(), result)
+    };
+
+    let deployment = evaluate_deployment_with(
+        inner,
+        sut.as_ref(),
+        &exp.workload,
+        &best_config,
+        &base,
+        ARENA_DEPLOY_LABEL,
+        exp.deploy_vms,
+        exp.deploy_repeats,
+        crash_penalty,
+        &rng,
+    );
+    RunSummary {
+        method: "arena",
+        best_config,
+        tuning: Some(tuning),
+        deployment,
+    }
 }
 
 #[cfg(test)]
@@ -1771,6 +1964,71 @@ mod tests {
         assert_eq!(spec(3, 3).digest(), spec(3, 3).digest());
         assert_ne!(spec(3, 3).digest(), spec(2, 3).digest());
         assert_ne!(spec(3, 3).digest(), spec(3, 5).digest());
+    }
+
+    fn tiny_arena(name: &str) -> Campaign {
+        Campaign::arena(
+            name,
+            9,
+            vec![tuna_workloads::tpcc()],
+            &["westus2", "centralus"],
+            &["tuna", "smac", "gp", "random", "tournament"],
+            16,
+        )
+    }
+
+    #[test]
+    fn arena_grid_crosses_regions_and_solvers() {
+        let c = tiny_arena("arena-grid");
+        assert_eq!(c.n_cells(), 2 * 5);
+        assert_eq!(c.arms[0].label, "westus2/tuna");
+        assert_eq!(c.arms[9].label, "centralus/tournament");
+        // Every (region, solver) pair derives a distinct seed salt.
+        let mut salts: Vec<u64> = c
+            .arms
+            .iter()
+            .map(|a| match &a.recipe {
+                Recipe::Arena(s) => s.seed_salt(),
+                _ => unreachable!(),
+            })
+            .collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), c.arms.len(), "arena seed salts collide");
+        // The digest distinguishes arena declarations.
+        let mut other = c.clone();
+        other.arms[0] = Arm::new("x", Recipe::Arena(ArenaSpec::new("smac", "eastus", 16)));
+        assert_ne!(c.digest(), other.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown solver")]
+    fn arena_unknown_solver_rejected() {
+        ArenaSpec::new("adam", "westus2", 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn arena_unknown_region_rejected() {
+        ArenaSpec::new("smac", "marsnorth1", 8);
+    }
+
+    #[test]
+    fn arena_campaign_is_bit_identical_across_worker_counts() {
+        let campaign = tiny_arena("arena-workers");
+        let mut serial_store = ResultStore::in_memory(&campaign);
+        let serial = CampaignRunner::serial().run(&campaign, &mut serial_store);
+        assert!(serial.complete);
+        assert!(serial
+            .cells
+            .iter()
+            .all(|c| { c.record.rows[0].mean.is_some_and(|m| m.is_finite()) }));
+        let mut par_store = ResultStore::in_memory(&campaign);
+        let par = CampaignRunner::with_workers(4).run(&campaign, &mut par_store);
+        assert_eq!(serial.checksum, par.checksum);
+        for (s, p) in serial.cells.iter().zip(&par.cells) {
+            assert_eq!(s.record, p.record, "cell {}", s.cell);
+        }
     }
 
     #[test]

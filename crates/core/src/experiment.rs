@@ -10,10 +10,11 @@ use crate::deploy::{default_worst_case_with, evaluate_deployment_with, DeploySta
 use crate::executor::ExecutionMode;
 use crate::pipeline::{TunaConfig, TunaPipeline, TuningResult};
 use tuna_cloudsim::{Cluster, Region, VmSku};
-use tuna_optimizer::gp_opt::{GpOptimizer, GpParams};
+use tuna_optimizer::gp_opt::GpParams;
 use tuna_optimizer::multifidelity::LadderParams;
-use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
-use tuna_optimizer::{Objective, Optimizer};
+use tuna_optimizer::smac::SmacParams;
+use tuna_optimizer::solver::SolverParams;
+use tuna_optimizer::{Objective, Solver};
 use tuna_space::Config;
 use tuna_stats::rng::{hash_combine, Rng};
 use tuna_sut::nginx::Nginx;
@@ -22,14 +23,10 @@ use tuna_sut::redis::Redis;
 use tuna_sut::SystemUnderTest;
 use tuna_workloads::{TargetSystem, Workload};
 
-/// Which optimizer drives the search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OptimizerKind {
-    /// SMAC-style BO with a random-forest surrogate (the paper default).
-    Smac,
-    /// Gaussian-process BO (the §6.6 alternative).
-    Gp,
-}
+/// Solvers are named declaratively: arms carry a [`SolverId`] resolved
+/// against the string-keyed registry in `tuna_optimizer::solver` instead
+/// of a hand-numbered enum of concrete types.
+pub use tuna_optimizer::solver::SolverId;
 
 /// Sampling methodology under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +86,8 @@ pub struct Experiment {
     pub deploy_vms: usize,
     /// Measurement epochs per deployment VM.
     pub deploy_repeats: usize,
-    /// Optimizer choice.
-    pub optimizer: OptimizerKind,
+    /// Solver registry name driving the search.
+    pub optimizer: SolverId,
     /// SMAC hyperparameters.
     pub smac: SmacParams,
     /// GP hyperparameters.
@@ -126,7 +123,7 @@ impl Experiment {
             cluster_size: 10,
             deploy_vms: 10,
             deploy_repeats: 3,
-            optimizer: OptimizerKind::Smac,
+            optimizer: SolverId::smac(),
             smac: SmacParams {
                 n_init: 10,
                 n_random_candidates: 100,
@@ -171,30 +168,29 @@ impl Experiment {
         }
     }
 
-    fn make_optimizer(
-        &self,
-        space: &tuna_space::ConfigSpace,
-        multi_fidelity: bool,
-    ) -> Box<dyn Optimizer> {
+    /// The [`SolverParams`] this experiment hands to registry builders.
+    pub fn solver_params(&self, multi_fidelity: bool) -> SolverParams {
         let ladder = if multi_fidelity {
             LadderParams::paper_default()
         } else {
             LadderParams::single()
         };
-        match self.optimizer {
-            OptimizerKind::Smac => Box::new(SmacOptimizer::multi_fidelity(
-                space.clone(),
-                self.objective(),
-                self.smac.clone(),
-                ladder,
-            )),
-            OptimizerKind::Gp => Box::new(GpOptimizer::multi_fidelity(
-                space.clone(),
-                self.objective(),
-                self.gp.clone(),
-                ladder,
-            )),
+        SolverParams {
+            ladder,
+            smac: self.smac.clone(),
+            gp: self.gp.clone(),
+            ..SolverParams::default()
         }
+    }
+
+    fn make_optimizer(
+        &self,
+        space: &tuna_space::ConfigSpace,
+        multi_fidelity: bool,
+    ) -> Box<dyn Solver> {
+        let params = self.solver_params(multi_fidelity);
+        self.optimizer
+            .build(space.clone(), self.objective(), &params)
     }
 
     /// Runs one tuning run + deployment for `method` with a given seed.

@@ -100,11 +100,7 @@ impl RegressionTree {
             {
                 self.feature_gains[feature] += gain;
                 // Partition indices in place around the found threshold.
-                indices.sort_by(|&a, &b| {
-                    x[a][feature]
-                        .partial_cmp(&x[b][feature])
-                        .expect("NaN feature")
-                });
+                indices.sort_by(|&a, &b| x[a][feature].total_cmp(&x[b][feature]));
                 let (left_idx, right_idx) = indices.split_at_mut(split_at);
                 let node_id = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: mean, n }); // Placeholder.
@@ -158,7 +154,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64, usize)> = None;
         let mut order: Vec<usize> = indices.to_vec();
         for &f in &features {
-            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("NaN feature"));
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
             for pos in 0..n - 1 {

@@ -101,7 +101,8 @@ impl Proposer for GpProposer {
             let enc = space.encode_one_hot(&cand);
             let (mean, var) = gp.predict_stats(&enc);
             let ei = expected_improvement(mean, var.sqrt(), best_cost, self.params.xi);
-            if best.as_ref().is_none_or(|(b, _)| ei > *b) {
+            // A non-finite acquisition value must never win the argmax.
+            if ei.is_finite() && best.as_ref().is_none_or(|(b, _)| ei > *b) {
                 best = Some((ei, cand));
             }
         }

@@ -1,8 +1,34 @@
 //! Observation history shared by the optimizers.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 use tuna_space::{Config, ConfigId, ConfigSpace};
+
+/// Total order on costs that quarantines non-finite values: any finite
+/// cost ranks strictly better (earlier) than any NaN or ±inf, and
+/// non-finite costs are ordered among themselves by [`f64::total_cmp`]
+/// so ranking stays deterministic. A diverged run reporting NaN or an
+/// overflowed penalty must never panic a study or win `best()`.
+pub fn cost_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_finite(), b.is_finite()) {
+        // Matches IEEE partial_cmp exactly on the finite-only path (incl.
+        // -0.0 == 0.0), so histories without non-finite costs rank
+        // byte-identically to the old panicking comparator.
+        (true, true) => {
+            if a < b {
+                Ordering::Less
+            } else if b < a {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
 
 /// One reported evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,20 +132,30 @@ impl History {
     /// that has any record: a config measured on 10 nodes at cost c beats a
     /// config measured on 1 node at cost c - eps, because only high-budget
     /// measurements are trustworthy under cloud noise.
+    ///
+    /// Non-finite rollups (NaN/±inf from diverged runs) are quarantined:
+    /// they never win, the budget tier is chosen among finite records
+    /// only, and `None` is returned if no finite record exists.
     pub fn best(&self) -> Option<&ConfigRecord> {
-        let top_budget = self.record_order.iter().map(|r| r.max_budget).max()?;
+        let top_budget = self
+            .record_order
+            .iter()
+            .filter(|r| r.cost.is_finite())
+            .map(|r| r.max_budget)
+            .max()?;
         self.record_order
             .iter()
-            .filter(|r| r.max_budget == top_budget)
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("NaN cost"))
+            .filter(|r| r.max_budget == top_budget && r.cost.is_finite())
+            .min_by(|a, b| cost_cmp(a.cost, b.cost))
     }
 
     /// Training matrix for a surrogate: one row per distinct config (its
-    /// encoded form) and the cost at its highest budget.
+    /// encoded form) and the cost at its highest budget. Non-finite
+    /// rollups are quarantined — they must never reach a model fit.
     pub fn surrogate_data(&self, space: &ConfigSpace) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut x = Vec::with_capacity(self.record_order.len());
         let mut y = Vec::with_capacity(self.record_order.len());
-        for rec in self.records() {
+        for rec in self.records().filter(|r| r.cost.is_finite()) {
             x.push(space.encode(&rec.config));
             y.push(rec.cost);
         }
@@ -130,7 +166,7 @@ impl History {
     pub fn surrogate_data_one_hot(&self, space: &ConfigSpace) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut x = Vec::with_capacity(self.record_order.len());
         let mut y = Vec::with_capacity(self.record_order.len());
-        for rec in self.records() {
+        for rec in self.records().filter(|r| r.cost.is_finite()) {
             x.push(space.encode_one_hot(&rec.config));
             y.push(rec.cost);
         }
@@ -138,10 +174,10 @@ impl History {
     }
 
     /// The `k` best distinct configs by rolled-up cost (any budget),
-    /// best first.
+    /// best first. Non-finite rollups sort after every finite one.
     pub fn top_k(&self, k: usize) -> Vec<&ConfigRecord> {
         let mut recs: Vec<&ConfigRecord> = self.record_order.iter().collect();
-        recs.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("NaN cost"));
+        recs.sort_by(|a, b| cost_cmp(a.cost, b.cost));
         recs.truncate(k);
         recs
     }
@@ -193,6 +229,73 @@ mod tests {
         let top = h.top_k(2);
         assert_eq!(top[0].config, cfg(2));
         assert_eq!(top[1].config, cfg(3));
+    }
+
+    #[test]
+    fn cost_cmp_quarantines_non_finite() {
+        let mut v = [f64::NAN, 1.0, f64::INFINITY, -2.0, f64::NEG_INFINITY, 0.5];
+        v.sort_by(|a, b| cost_cmp(*a, *b));
+        assert_eq!(&v[..3], &[-2.0, 0.5, 1.0]);
+        assert!(v[3..].iter().all(|c| !c.is_finite()));
+        // Deterministic: a second sort of a permutation agrees.
+        let mut w = [0.5, f64::NEG_INFINITY, -2.0, f64::INFINITY, 1.0, f64::NAN];
+        w.sort_by(|a, b| cost_cmp(*a, *b));
+        assert_eq!(v.iter().map(|c| c.to_bits()).collect::<Vec<_>>(), {
+            w.iter().map(|c| c.to_bits()).collect::<Vec<_>>()
+        });
+    }
+
+    #[test]
+    fn best_never_returns_non_finite() {
+        let mut h = History::new();
+        h.push(cfg(1), f64::NAN, 10); // High budget but diverged.
+        h.push(cfg(2), f64::NEG_INFINITY, 10); // -inf must not win.
+        h.push(cfg(3), 4.0, 1);
+        h.push(cfg(4), 3.0, 1);
+        let best = h.best().unwrap();
+        assert!(best.cost.is_finite());
+        assert_eq!(best.config, cfg(4));
+        // Counts stay exact: quarantine hides nothing from bookkeeping.
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.n_configs(), 4);
+    }
+
+    #[test]
+    fn best_none_when_all_non_finite() {
+        let mut h = History::new();
+        h.push(cfg(1), f64::NAN, 1);
+        h.push(cfg(2), f64::INFINITY, 3);
+        assert!(h.best().is_none());
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.n_configs(), 2);
+    }
+
+    #[test]
+    fn surrogate_data_excludes_non_finite() {
+        let space = tuna_space::ConfigSpace::builder().int("v", 0, 10).build();
+        let mut h = History::new();
+        h.push(cfg(1), 3.0, 1);
+        h.push(cfg(2), f64::NAN, 1);
+        h.push(cfg(3), f64::INFINITY, 1);
+        h.push(cfg(4), 1.0, 1);
+        let (x, y) = h.surrogate_data(&space);
+        assert_eq!(x.len(), 2);
+        assert_eq!(y, vec![3.0, 1.0]);
+        let (xh, yh) = h.surrogate_data_one_hot(&space);
+        assert_eq!(xh.len(), 2);
+        assert!(yh.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn top_k_sinks_non_finite() {
+        let mut h = History::new();
+        h.push(cfg(1), f64::NAN, 1);
+        h.push(cfg(2), 2.0, 1);
+        h.push(cfg(3), 1.0, 1);
+        let top = h.top_k(3);
+        assert_eq!(top[0].config, cfg(3));
+        assert_eq!(top[1].config, cfg(2));
+        assert!(top[2].cost.is_nan());
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! - [`multifidelity`]: a Successive-Halving intensifier that turns any
 //!   proposer into a multi-fidelity optimizer whose *budget is the number of
 //!   nodes a config is evaluated on* (§4.1).
+//! - [`tournament`]: DarwinGame-style tournament selection — configs play
+//!   head-to-head matches, winners advance through a bracket.
 //!
-//! All optimizers speak the same [`Optimizer`] ask/tell interface so the
+//! All optimizers speak the same [`Solver`] ask/tell interface so the
 //! TUNA pipeline (and the baselines) can swap them freely, mirroring the
-//! paper's "no changes to the underlying optimizer" design goal.
+//! paper's "no changes to the underlying optimizer" design goal. The
+//! [`solver`] module adds the declarative layer on top: a string-keyed
+//! [`solver::SolverRegistry`] with per-solver [`solver::Capabilities`], so
+//! arms name solvers (`"smac"`, `"gp"`, `"random"`, `"tournament"`)
+//! instead of constructing concrete types.
 //!
 //! # Examples
 //!
@@ -42,8 +48,11 @@ pub mod history;
 pub mod multifidelity;
 pub mod random;
 pub mod smac;
+pub mod solver;
+pub mod tournament;
 
-pub use history::{History, Observation};
+pub use history::{cost_cmp, History, Observation};
+pub use solver::{Capabilities, SolverId, SolverParams, SolverRegistry};
 
 use tuna_space::{Config, ConfigSpace};
 use tuna_stats::rng::Rng;
@@ -95,8 +104,9 @@ pub struct Suggestion {
     pub budget: usize,
 }
 
-/// The ask/tell optimizer interface shared by all implementations.
-pub trait Optimizer {
+/// The ask/tell solver interface shared by all implementations
+/// (kurobako-style solver side of the solver/problem split).
+pub trait Solver {
     /// Proposes the next configuration (and budget) to evaluate.
     fn ask(&mut self, rng: &mut Rng) -> Suggestion;
 
@@ -117,6 +127,10 @@ pub trait Optimizer {
     /// Number of tell() calls so far.
     fn n_observations(&self) -> usize;
 }
+
+/// Pre-registry name for [`Solver`], kept so downstream ask/tell call
+/// sites keep compiling while arms migrate to registry names.
+pub use Solver as Optimizer;
 
 #[cfg(test)]
 mod tests {

@@ -14,7 +14,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::history::History;
-use crate::{Objective, Optimizer, Suggestion};
+use crate::{Objective, Solver, Suggestion};
 use tuna_space::{Config, ConfigId, ConfigSpace};
 use tuna_stats::rng::Rng;
 
@@ -145,8 +145,15 @@ impl<P: Proposer> MultiFidelityOptimizer<P> {
             }
             let candidates: Vec<ConfigId> = {
                 let rung = &self.rungs[r];
-                let mut sorted = rung.results.clone();
-                sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN cost"));
+                // Non-finite results (diverged runs) count toward rung
+                // occupancy but are never promotion candidates.
+                let mut sorted: Vec<(ConfigId, f64)> = rung
+                    .results
+                    .iter()
+                    .filter(|(_, cost)| cost.is_finite())
+                    .copied()
+                    .collect();
+                sorted.sort_by(|a, b| crate::history::cost_cmp(a.1, b.1));
                 let k = sorted.len().div_ceil(self.ladder.eta);
                 sorted
                     .into_iter()
@@ -167,7 +174,7 @@ impl<P: Proposer> MultiFidelityOptimizer<P> {
     }
 }
 
-impl<P: Proposer> Optimizer for MultiFidelityOptimizer<P> {
+impl<P: Proposer> Solver for MultiFidelityOptimizer<P> {
     fn ask(&mut self, rng: &mut Rng) -> Suggestion {
         if let Some((rung_idx, id)) = self.find_promotion() {
             self.rungs[rung_idx].promoted.insert(id);
@@ -287,7 +294,7 @@ mod tests {
                     .map(|(_, c)| *c)
                     .expect("promoted config must have been seen");
                 let mut costs: Vec<f64> = seen_costs.iter().map(|(_, c)| *c).collect();
-                costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                costs.sort_by(|a, b| a.total_cmp(b));
                 let median = costs[costs.len() / 2];
                 assert!(cost <= median + 1e-9, "promoted a bad config");
             }
@@ -333,6 +340,32 @@ mod tests {
             eta: 3,
             min_rung_size: 1,
         });
+    }
+
+    #[test]
+    fn nan_tells_are_quarantined_not_promoted() {
+        let mut opt = mf(LadderParams::paper_default());
+        let mut rng = Rng::seed_from(17);
+        let mut nan_ids = HashSet::new();
+        for i in 0..120 {
+            let s = opt.ask(&mut rng);
+            if s.budget == 1 && i % 3 == 0 {
+                // Every third fresh config diverges.
+                nan_ids.insert(s.config.id());
+                opt.tell(&s.config, f64::NAN, s.budget);
+            } else {
+                opt.tell(&s.config, s.config.get(0).as_float(), s.budget);
+            }
+        }
+        // No diverged config was ever promoted past rung 0.
+        for rung in &opt.rungs[1..] {
+            for (id, _) in &rung.results {
+                assert!(!nan_ids.contains(id), "promoted a NaN config");
+            }
+        }
+        let (best, value) = opt.best().expect("finite observations exist");
+        assert!(value.is_finite());
+        assert!(!nan_ids.contains(&best.id()));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! baseline in its own right.
 
 use crate::history::History;
-use crate::{Objective, Optimizer, Suggestion};
+use crate::{Objective, Solver, Suggestion};
 use tuna_space::{Config, ConfigSpace};
 use tuna_stats::rng::Rng;
 
@@ -35,7 +35,7 @@ impl RandomSearch {
     }
 }
 
-impl Optimizer for RandomSearch {
+impl Solver for RandomSearch {
     fn ask(&mut self, rng: &mut Rng) -> Suggestion {
         Suggestion {
             config: self.space.sample(rng),

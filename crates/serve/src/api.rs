@@ -29,7 +29,7 @@
 //! an `Err` first, because this input arrives from the network.
 
 use tuna_core::campaign::{Arm, Campaign, Recipe};
-use tuna_core::experiment::{Method, OptimizerKind};
+use tuna_core::experiment::{Method, SolverId};
 use tuna_stats::json::{self, Value};
 
 /// Hard cap on cells per study; a submission above this is refused.
@@ -47,8 +47,8 @@ pub struct StudySpec {
     pub runs: usize,
     /// Tuning rounds for protocol arms.
     pub rounds: usize,
-    /// Optimizer driving the arms.
-    pub optimizer: OptimizerKind,
+    /// Optimizer (solver registry name) driving the arms.
+    pub optimizer: SolverId,
     /// Workload names (validated against [`tuna_workloads::all_workloads`]).
     pub workloads: Vec<String>,
     /// `(label, method)` arms.
@@ -158,15 +158,12 @@ impl StudySpec {
             return Err("'runs' and 'rounds' must be at least 1".into());
         }
 
+        // Any solver-registry name is a valid wire value; the original
+        // "smac"/"gp" submissions parse unchanged.
         let optimizer = match v.get("optimizer").map(|o| o.as_str()) {
-            None => OptimizerKind::Smac,
-            Some(Some("smac")) => OptimizerKind::Smac,
-            Some(Some("gp")) => OptimizerKind::Gp,
-            Some(other) => {
-                return Err(format!(
-                    "unknown optimizer {other:?} (expected \"smac\" or \"gp\")"
-                ))
-            }
+            None => SolverId::smac(),
+            Some(Some(name)) => SolverId::new(name)?,
+            Some(None) => return Err("'optimizer' must be a string".into()),
         };
 
         let known = tuna_workloads::all_workloads();
@@ -256,10 +253,7 @@ impl StudySpec {
         out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
         out.push_str(&format!(
             "  \"optimizer\": \"{}\",\n",
-            match self.optimizer {
-                OptimizerKind::Smac => "smac",
-                OptimizerKind::Gp => "gp",
-            }
+            self.optimizer.as_str()
         ));
         out.push_str(&format!(
             "  \"workloads\": [{}],\n",
@@ -308,7 +302,7 @@ impl StudySpec {
             seed: self.seed,
             runs: self.runs,
             rounds: self.rounds,
-            optimizer: self.optimizer,
+            optimizer: self.optimizer.clone(),
             workloads,
             arms: self
                 .arms
@@ -373,7 +367,7 @@ mod tests {
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.runs, 1);
         assert_eq!(spec.rounds, 96);
-        assert_eq!(spec.optimizer, OptimizerKind::Smac);
+        assert_eq!(spec.optimizer, SolverId::smac());
     }
 
     #[test]
@@ -422,7 +416,7 @@ mod tests {
             ),
             (
                 r#"{"name": "d", "optimizer": "adam", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}]}"#,
-                "unknown optimizer",
+                "unknown solver",
             ),
             (
                 r#"{"name": "d", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}, {"label": "x", "method": "tuna"}]}"#,

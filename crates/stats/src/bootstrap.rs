@@ -75,7 +75,7 @@ where
     }
     // One sort serves both tails (the old path re-sorted a clone of the
     // replicate vector per quantile); values are bit-identical.
-    replicates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap replicate"));
+    replicates.sort_unstable_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     ConfidenceInterval {
         lo: quantile_of_sorted(&replicates, alpha),

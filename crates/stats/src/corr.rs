@@ -126,7 +126,7 @@ fn ranks_into(xs: &[f64], idx: &mut Vec<usize>, out: &mut Vec<f64>) {
     let n = xs.len();
     idx.clear();
     idx.extend(0..n);
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     out.clear();
     out.resize(n, 0.0);
     let mut i = 0;

@@ -301,10 +301,7 @@ impl Zipf {
     /// Samples a rank in `1..=n` (most popular item is rank 1).
     pub fn sample_rank(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }

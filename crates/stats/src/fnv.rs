@@ -50,6 +50,11 @@ impl Checksum {
     pub fn hex(&self) -> String {
         format!("{:016x}", self.0)
     }
+
+    /// The raw 64-bit digest (what [`Checksum::hex`] renders).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

@@ -224,8 +224,7 @@ impl P2Quantile {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q
-                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
+                self.q.sort_unstable_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -303,7 +302,7 @@ impl P2Quantile {
             let mut head = [0.0; 5];
             let m = self.count as usize;
             head[..m].copy_from_slice(&self.q[..m]);
-            head[..m].sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
+            head[..m].sort_unstable_by(|a, b| a.total_cmp(b));
             crate::summary::quantile_of_sorted(&head[..m], self.p)
         } else if self.p == 0.0 {
             self.q[0]

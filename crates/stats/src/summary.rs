@@ -47,7 +47,7 @@ pub mod naive {
         assert!(!xs.is_empty(), "quantile of empty slice");
         assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let pos = q * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -192,7 +192,7 @@ pub fn relative_range(xs: &[f64]) -> f64 {
 }
 
 fn total_cmp_no_nan(a: &f64, b: &f64) -> Ordering {
-    a.partial_cmp(b).expect("NaN in quantile input")
+    a.total_cmp(b)
 }
 
 /// Interpolated quantile of an **already sorted** slice (no copy, no
@@ -480,7 +480,7 @@ mod tests {
     fn quantile_of_sorted_matches_quantile() {
         let mut xs = vec![9.0, 2.0, 7.0, 4.0, 1.0, 8.0];
         let q95 = quantile(&xs, 0.95);
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(quantile_of_sorted(&xs, 0.95), q95);
     }
 

@@ -1,0 +1,75 @@
+//! Source lint: float ordering must not go through `partial_cmp` + panic.
+//!
+//! Sorting or comparing costs with `partial_cmp(..).unwrap()` is exactly
+//! the pattern that let a single NaN measurement take down a whole study
+//! (see `tuna_optimizer::history::cost_cmp`). Production code must use
+//! `total_cmp` or `cost_cmp` instead; this test fails the build when the
+//! panicking pattern reappears anywhere outside `tests/` directories.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lines of lookahead after a `partial_cmp` before `unwrap`/`expect`
+/// stops counting as part of the same expression.
+const LOOKAHEAD: usize = 2;
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // `tests/` trees may use whatever comparison a test needs.
+            if path.file_name().is_some_and(|n| n == "tests") {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    line.split("//").next().unwrap_or(line)
+}
+
+#[test]
+fn no_panicking_float_comparisons_in_src() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![];
+    for crate_dir in fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let src = crate_dir.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut files);
+        }
+    }
+    rust_sources(&root.join("src"), &mut files);
+    assert!(
+        files.len() > 30,
+        "lint walked too few files: {}",
+        files.len()
+    );
+
+    let mut violations = vec![];
+    for file in &files {
+        let text = fs::read_to_string(file).expect("readable source file");
+        let lines: Vec<&str> = text.lines().map(strip_comment).collect();
+        for (i, line) in lines.iter().enumerate() {
+            if !line.contains("partial_cmp") {
+                continue;
+            }
+            let window = &lines[i..(i + 1 + LOOKAHEAD).min(lines.len())];
+            if window
+                .iter()
+                .any(|l| l.contains(".unwrap(") || l.contains(".expect("))
+            {
+                violations.push(format!("{}:{}", file.display(), i + 1));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "partial_cmp + unwrap/expect on floats panics on NaN; use total_cmp \
+         or history::cost_cmp instead:\n  {}",
+        violations.join("\n  ")
+    );
+}

@@ -2,7 +2,7 @@
 
 use tuna_cloudsim::{Cluster, Region, VmSku};
 use tuna_core::deploy::{default_worst_case, evaluate_deployment};
-use tuna_core::experiment::{Experiment, Method, OptimizerKind};
+use tuna_core::experiment::{Experiment, Method, SolverId};
 use tuna_core::pipeline::{TunaConfig, TunaPipeline};
 use tuna_optimizer::multifidelity::LadderParams;
 use tuna_optimizer::smac::{SmacOptimizer, SmacParams};
@@ -88,7 +88,7 @@ fn deployment_distributions_differ_between_methods() {
 #[test]
 fn gp_optimizer_path_works_end_to_end() {
     let mut exp = Experiment::quick_demo();
-    exp.optimizer = OptimizerKind::Gp;
+    exp.optimizer = SolverId::gp();
     exp.rounds = 12;
     let s = exp.run(Method::Tuna, 3);
     assert!(s.deployment.mean > 0.0);

@@ -773,6 +773,7 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
                     }];
                     let checksum = CellRecord::compute_checksum(&rows);
                     mgr.complete(
+                        &a.tenant,
                         &a.study,
                         CellRecord {
                             cell: a.cell,
@@ -895,6 +896,7 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
                     let checksum = CellRecord::compute_checksum(&rows);
                     sim.manager_mut()
                         .complete(
+                            &a.tenant,
                             &a.study,
                             CellRecord {
                                 cell: a.cell,
@@ -906,6 +908,121 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
                     drained += 1;
                 }
                 assert_eq!(drained, CONNS as u64, "one cell per connection's study");
+            }),
+        });
+    }
+
+    // -- serve multi-tenant scheduling --------------------------------------
+    // The tenant layer end to end on the sim clock: authenticated wire
+    // submissions for a weight-3 and a weight-1 tenant (with an
+    // interactive probe in the mix), auth and admission refusals, then a
+    // synthetic drain of the weighted fair-share scheduler. The checksum
+    // pins every response status, the full (tenant, study, cell) grant
+    // order — the weighted policy is part of the determinism contract —
+    // and the persisted-format usage meters.
+    {
+        const STUDIES: usize = 40; // per tenant
+        v.push(ScenarioSpec {
+            name: "serve/multitenant",
+            // Submits per tenant plus every scheduled cell (each study
+            // declares 1 workload x 1 arm x (1 + r%3) runs).
+            items: {
+                let cells: usize = (0..STUDIES).map(|r| 1 + r % 3).sum();
+                (2 * (STUDIES + cells)) as u64
+            },
+            run: Box::new(move |c| {
+                use tuna_core::campaign::{CellRecord, CellRow};
+                use tuna_serve::sim::SimServer;
+                use tuna_serve::tenant::TenantRegistry;
+
+                let registry = TenantRegistry::parse(
+                    "{\"tenants\": [\
+                     {\"name\": \"alice\", \"token\": \"alice-secret\", \"weight\": 3, \
+                      \"max_studies\": 40}, \
+                     {\"name\": \"bob\", \"token\": \"bob-secret\", \"max_cells\": 200}]}",
+                )
+                .expect("valid tenant table");
+                let mut sim = SimServer::with_tenants(None, 1, registry).expect("in-memory sim");
+
+                // Auth refusals come back structured: 401 without a
+                // token, 403 with an unknown one.
+                let (status, _) = sim.request("GET", "/v1/studies", "");
+                c.push_u64(u64::from(status));
+                let (status, _) = sim.request_as("GET", "/v1/studies", "", Some("wrong"));
+                c.push_u64(u64::from(status));
+
+                for r in 0..STUDIES {
+                    for token in ["alice-secret", "bob-secret"] {
+                        // Every 8th study is an interactive probe, so the
+                        // lane-preemption order is pinned too.
+                        let lane = if r % 8 == 7 {
+                            ", \"lane\": \"interactive\""
+                        } else {
+                            ""
+                        };
+                        let body = format!(
+                            "{{\"name\": \"mt-{r}\", \"seed\": {r}, \"runs\": {}, \
+                             \"rounds\": 2{lane}, \"workloads\": [\"tpcc\"], \
+                             \"arms\": [{{\"label\": \"Default\", \"method\": \"default\"}}]}}",
+                            1 + r % 3
+                        );
+                        let (status, _) = sim.request_as("POST", "/v1/studies", &body, Some(token));
+                        c.push_u64(u64::from(status));
+                    }
+                }
+
+                // Admission refusals: alice is at her concurrent-study
+                // budget (429 study-budget); a 150-cell submission blows
+                // bob's outstanding-cell budget (429 cell-budget).
+                let over = "{\"name\": \"mt-over\", \"runs\": 1, \"rounds\": 2, \
+                            \"workloads\": [\"tpcc\"], \
+                            \"arms\": [{\"label\": \"Default\", \"method\": \"default\"}]}";
+                let (status, _) = sim.request_as("POST", "/v1/studies", over, Some("alice-secret"));
+                c.push_u64(u64::from(status));
+                let big = over.replace("\"runs\": 1", "\"runs\": 150");
+                let (status, _) = sim.request_as("POST", "/v1/studies", &big, Some("bob-secret"));
+                c.push_u64(u64::from(status));
+
+                // Drain the weighted scheduler synthetically, pinning the
+                // full (tenant, study, cell) grant order.
+                while let Some(a) = sim.manager_mut().next_assignment() {
+                    let mut h = Checksum::new();
+                    h.push_str(&a.tenant);
+                    h.push_str(&a.study);
+                    h.push_u64(a.cell as u64);
+                    c.push_str(&h.hex());
+                    let rows = vec![CellRow {
+                        label: "synthetic".to_string(),
+                        seed: a.cell as u64,
+                        samples: 1,
+                        best: Some(a.cell as f64),
+                        mean: Some(1.0),
+                        std: Some(0.0),
+                        min: Some(1.0),
+                        max: Some(1.0),
+                        crashes: Some(0),
+                    }];
+                    let checksum = CellRecord::compute_checksum(&rows);
+                    sim.manager_mut()
+                        .complete_timed(
+                            &a.tenant,
+                            &a.study,
+                            CellRecord {
+                                cell: a.cell,
+                                rows,
+                                checksum,
+                            },
+                            1000,
+                        )
+                        .expect("synthetic completion");
+                }
+
+                // Usage meters (the persisted accounting) are part of the
+                // pinned surface, via the tenants document.
+                let (status, tenants) =
+                    sim.request_as("GET", "/v1/tenants", "", Some("bob-secret"));
+                assert_eq!(status, 200, "{tenants}");
+                c.push_str(&tenants);
             }),
         });
     }

@@ -254,6 +254,26 @@ impl Arm {
 }
 
 /// A declarative study grid: workloads × arms × runs.
+///
+/// A campaign is pure data — the grid it declares expands to
+/// `workloads × arms × runs` cells, each a pure function of the
+/// campaign (via [`Campaign::digest`]) and the cell's coordinates, so
+/// two equal campaigns always produce byte-identical results:
+///
+/// ```
+/// use tuna_core::campaign::Campaign;
+/// use tuna_core::experiment::Method;
+///
+/// let campaign = Campaign::protocol(
+///     "demo",
+///     7,
+///     vec![tuna_workloads::tpcc()],
+///     &[("TUNA", Method::Tuna), ("Default", Method::DefaultConfig)],
+/// )
+/// .with_runs(3);
+/// assert_eq!(campaign.n_cells(), 6, "1 workload x 2 arms x 3 runs");
+/// assert_eq!(campaign.digest(), campaign.clone().digest());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Campaign {
     /// Campaign name (store header + JSON; no commas/newlines).

@@ -106,6 +106,31 @@ pub struct Suggestion {
 
 /// The ask/tell solver interface shared by all implementations
 /// (kurobako-style solver side of the solver/problem split).
+///
+/// The loop is always the same regardless of the concrete solver:
+/// [`Solver::ask`] proposes a [`Suggestion`], the caller measures it,
+/// and [`Solver::tell`] feeds the raw metric back. Any type
+/// implementing the trait drops into the TUNA pipeline unchanged:
+///
+/// ```
+/// use tuna_optimizer::random::RandomSearch;
+/// use tuna_optimizer::{Objective, Solver};
+/// use tuna_space::ConfigSpace;
+/// use tuna_stats::rng::Rng;
+///
+/// let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+/// let mut solver: Box<dyn Solver> =
+///     Box::new(RandomSearch::new(space.clone(), Objective::Minimize, 1));
+/// let mut rng = Rng::seed_from(7);
+/// for _ in 0..10 {
+///     let s = solver.ask(&mut rng);
+///     let x = space.value_of(&s.config, "x").as_float();
+///     solver.tell(&s.config, (x - 0.5).abs(), s.budget);
+/// }
+/// assert_eq!(solver.n_observations(), 10);
+/// let (_best, value) = solver.best().expect("ten observations");
+/// assert!(value <= 0.5);
+/// ```
 pub trait Solver {
     /// Proposes the next configuration (and budget) to evaluate.
     fn ask(&mut self, rng: &mut Rng) -> Suggestion;

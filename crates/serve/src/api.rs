@@ -35,12 +35,50 @@ use tuna_stats::json::{self, Value};
 /// Hard cap on cells per study; a submission above this is refused.
 pub const MAX_CELLS: usize = 100_000;
 
+/// Hard cap on a study's `max_workers` declaration.
+pub const MAX_WORKER_CAP: usize = 1_000_000;
+
+/// Scheduling lane of a study.
+///
+/// `interactive` studies (short probes, `run-local`-style) preempt
+/// `batch` work at cell boundaries: while any interactive study has
+/// pending cells, the scheduler hands out no batch cells. Running batch
+/// cells are never aborted — preemption waits for the cell boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// Default lane for long-running campaigns.
+    Batch,
+    /// Preempting lane for short probes.
+    Interactive,
+}
+
+impl Lane {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Lane::Batch => "batch",
+            Lane::Interactive => "interactive",
+        }
+    }
+}
+
 /// A validated study submission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudySpec {
-    /// Study name: unique per daemon, `[A-Za-z0-9._-]`, also the stem of
-    /// the on-disk spec/store files.
+    /// Study name: unique per tenant namespace, `[A-Za-z0-9._-]`, also
+    /// the stem of the on-disk spec/store files.
     pub name: String,
+    /// Tenant namespace the study belongs to. `None` on the wire means
+    /// "whoever is submitting" — the router fills in the authenticated
+    /// tenant before the manager sees the spec. The default tenant
+    /// stays implicit (the manager normalizes it back to `None`) so a
+    /// loopback spec's persisted bytes are exactly the pre-tenant ones.
+    pub tenant: Option<String>,
+    /// Scheduling lane (default [`Lane::Batch`]).
+    pub lane: Lane,
+    /// Per-study worker cap: at most this many of the study's cells in
+    /// flight at once (`0` = unlimited, the default).
+    pub max_workers: usize,
     /// Campaign root seed.
     pub seed: u64,
     /// Independent runs (seeds) per (workload, arm).
@@ -151,6 +189,30 @@ impl StudySpec {
             ));
         }
 
+        let tenant = match v.get("tenant").map(|t| t.as_str()) {
+            None => None,
+            Some(Some(t)) if valid_name(t) => Some(t.to_string()),
+            Some(Some(t)) => return Err(format!("invalid tenant name {t:?}")),
+            Some(None) => return Err("'tenant' must be a string".into()),
+        };
+
+        let lane = match v.get("lane").map(|l| l.as_str()) {
+            None => Lane::Batch,
+            Some(Some("batch")) => Lane::Batch,
+            Some(Some("interactive")) => Lane::Interactive,
+            Some(Some(other)) => {
+                return Err(format!(
+                    "unknown lane '{other}' (expected batch | interactive)"
+                ))
+            }
+            Some(None) => return Err("'lane' must be a string".into()),
+        };
+
+        let max_workers = parse_u64_field(&v, "max_workers", Some(0))? as usize;
+        if max_workers > MAX_WORKER_CAP {
+            return Err(format!("'max_workers' must be at most {MAX_WORKER_CAP}"));
+        }
+
         let seed = parse_u64_field(&v, "seed", Some(42))?;
         let runs = parse_u64_field(&v, "runs", Some(1))? as usize;
         let rounds = parse_u64_field(&v, "rounds", Some(96))? as usize;
@@ -233,6 +295,9 @@ impl StudySpec {
 
         Ok(StudySpec {
             name,
+            tenant,
+            lane,
+            max_workers,
             seed,
             runs,
             rounds,
@@ -248,6 +313,18 @@ impl StudySpec {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"name\": {},\n", json::quote(&self.name)));
+        // Tenant-era fields serialize only when set so that the
+        // canonical form of a pre-tenant spec is byte-identical to what
+        // a pre-tenant daemon persisted.
+        if let Some(tenant) = &self.tenant {
+            out.push_str(&format!("  \"tenant\": {},\n", json::quote(tenant)));
+        }
+        if self.lane != Lane::Batch {
+            out.push_str(&format!("  \"lane\": \"{}\",\n", self.lane.label()));
+        }
+        if self.max_workers > 0 {
+            out.push_str(&format!("  \"max_workers\": {},\n", self.max_workers));
+        }
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"runs\": {},\n", self.runs));
         out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
@@ -282,8 +359,19 @@ impl StudySpec {
         out
     }
 
+    /// The number of cells the spec declares (validated against
+    /// [`MAX_CELLS`] at parse time, so this cannot overflow).
+    pub fn n_cells(&self) -> usize {
+        self.workloads.len() * self.arms.len() * self.runs
+    }
+
     /// Builds the campaign this spec declares. Infallible after
     /// [`StudySpec::parse`]'s validation.
+    ///
+    /// The tenant, lane and worker cap deliberately do *not* enter the
+    /// campaign: they say who owns the study and when its cells run,
+    /// never what the cells compute — so the campaign digest (and every
+    /// result byte) is independent of scheduling policy.
     pub fn to_campaign(&self) -> Campaign {
         let known = tuna_workloads::all_workloads();
         let workloads = self
@@ -368,6 +456,43 @@ mod tests {
         assert_eq!(spec.runs, 1);
         assert_eq!(spec.rounds, 96);
         assert_eq!(spec.optimizer, SolverId::smac());
+        assert_eq!(spec.tenant, None);
+        assert_eq!(spec.lane, Lane::Batch);
+        assert_eq!(spec.max_workers, 0);
+    }
+
+    #[test]
+    fn tenant_fields_round_trip_and_stay_out_of_the_campaign() {
+        let spec = StudySpec::parse(
+            r#"{"name": "probe", "tenant": "alice", "lane": "interactive",
+                "max_workers": 2, "runs": 2, "rounds": 2,
+                "workloads": ["tpcc"],
+                "arms": [{"label": "x", "method": "default"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.tenant.as_deref(), Some("alice"));
+        assert_eq!(spec.lane, Lane::Interactive);
+        assert_eq!(spec.max_workers, 2);
+        assert_eq!(spec.n_cells(), 2);
+        let canonical = spec.to_json();
+        let reparsed = StudySpec::parse(&canonical).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_json(), canonical);
+        // Scheduling policy never reaches the campaign digest: the same
+        // declaration under any tenant/lane/cap computes the same cells.
+        let mut plain = spec.clone();
+        plain.tenant = None;
+        plain.lane = Lane::Batch;
+        plain.max_workers = 0;
+        assert_eq!(spec.to_campaign().digest(), plain.to_campaign().digest());
+        // An explicit "lane": "batch" normalizes away (canonical form
+        // omits defaults), so pre-tenant canonical bytes are unchanged.
+        let batch = StudySpec::parse(
+            r#"{"name": "d", "lane": "batch", "workloads": ["tpcc"],
+                "arms": [{"label": "x", "method": "default"}]}"#,
+        )
+        .unwrap();
+        assert!(!batch.to_json().contains("lane"), "{}", batch.to_json());
     }
 
     #[test]
@@ -417,6 +542,18 @@ mod tests {
             (
                 r#"{"name": "d", "optimizer": "adam", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}]}"#,
                 "unknown solver",
+            ),
+            (
+                r#"{"name": "d", "tenant": "bad tenant", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}]}"#,
+                "invalid tenant name",
+            ),
+            (
+                r#"{"name": "d", "lane": "express", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}]}"#,
+                "unknown lane",
+            ),
+            (
+                r#"{"name": "d", "max_workers": 2.5, "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}]}"#,
+                "non-negative integer",
             ),
             (
                 r#"{"name": "d", "workloads": ["tpcc"], "arms": [{"label": "x", "method": "default"}, {"label": "x", "method": "tuna"}]}"#,

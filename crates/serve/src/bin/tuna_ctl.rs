@@ -1,14 +1,24 @@
 //! `tuna-ctl` — the client for a running `tunad`.
 //!
 //! ```text
-//! tuna-ctl [--addr 127.0.0.1:4917] submit --spec FILE
-//! tuna-ctl [--addr ...]            list
-//! tuna-ctl [--addr ...]            status  NAME
-//! tuna-ctl [--addr ...]            results NAME
-//! tuna-ctl [--addr ...]            watch   NAME [--timeout-s 600]
-//! tuna-ctl [--addr ...]            cancel  NAME
-//! tuna-ctl                         run-local --spec FILE
+//! tuna-ctl [--addr 127.0.0.1:4917] [--token T] submit --spec FILE
+//! tuna-ctl [--addr ...] [--token T]            list
+//! tuna-ctl [--addr ...] [--token T]            status  NAME
+//! tuna-ctl [--addr ...] [--token T]            results NAME
+//! tuna-ctl [--addr ...] [--token T]            watch   NAME [--timeout-s 600]
+//! tuna-ctl [--addr ...] [--token T]            cancel  NAME
+//! tuna-ctl [--addr ...] [--token T]            tenants
+//! tuna-ctl                                     run-local --spec FILE
 //! ```
+//!
+//! `--token` sends `authorization: Bearer <T>` on every request — how a
+//! client authenticates against a daemon running with a tenant table
+//! (`tunad --tenants`). Loopback daemons ignore it.
+//!
+//! A refused request prints the daemon's structured reason to stderr —
+//! `tuna-ctl: refused (429 cell-budget): ...` — and exits with a
+//! distinct code per refusal class (see `exit_code_for`), so scripts
+//! can branch on *why* without parsing stderr.
 //!
 //! Every remote subcommand speaks HTTP/1.1 keep-alive over a
 //! persistent connection ([`Client`]) and prints the JSON body to
@@ -35,10 +45,52 @@ use tuna_stats::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tuna-ctl [--addr HOST:PORT] <submit --spec FILE | list | status NAME | \
-         results NAME | watch NAME [--timeout-s S] | cancel NAME | run-local --spec FILE>"
+        "usage: tuna-ctl [--addr HOST:PORT] [--token TOKEN] <submit --spec FILE | list | \
+         status NAME | results NAME | watch NAME [--timeout-s S] | cancel NAME | tenants | \
+         run-local --spec FILE>"
     );
     std::process::exit(2);
+}
+
+/// Exit code for a refused request — distinct per refusal class, so
+/// scripts can branch on the kind of refusal without parsing stderr.
+fn exit_code_for(status: u16) -> i32 {
+    match status {
+        400 => 10, // malformed request/spec
+        401 => 11, // missing token
+        403 => 12, // bad token / wrong tenant
+        404 => 13, // unknown study or route
+        405 => 14, // method not allowed
+        408 => 15, // request timeout
+        409 => 16, // conflicting declaration
+        413 => 17, // payload too large
+        429 => 18, // admission or load refusal
+        s if (400..500).contains(&s) => 19,
+        _ => 20, // 5xx and anything else
+    }
+}
+
+/// Renders a non-2xx reply for stderr, surfacing the structured
+/// `reason` slug when the body carries one.
+fn describe_refusal(status: u16, body: &str) -> String {
+    let v = json::parse(body).ok();
+    let err = v.as_ref().and_then(|v| v.get("error"));
+    let reason = err
+        .and_then(|e| e.get("reason"))
+        .and_then(json::Value::as_str);
+    let message = err
+        .and_then(|e| e.get("message"))
+        .and_then(json::Value::as_str);
+    match (reason, message) {
+        (Some(r), Some(m)) => format!("refused ({status} {r}): {m}"),
+        (None, Some(m)) => format!("daemon replied {status}: {m}"),
+        _ => format!("daemon replied {status}: {}", body.trim_end()),
+    }
+}
+
+fn refuse(status: u16, body: &str) -> ! {
+    eprintln!("tuna-ctl: {}", describe_refusal(status, body));
+    std::process::exit(exit_code_for(status));
 }
 
 fn fail(msg: &str) -> ! {
@@ -53,13 +105,15 @@ fn fail(msg: &str) -> ! {
 /// next call transparently reconnects once.
 struct Client {
     addr: String,
+    token: Option<String>,
     stream: Option<TcpStream>,
 }
 
 impl Client {
-    fn new(addr: &str) -> Self {
+    fn new(addr: &str, token: Option<String>) -> Self {
         Client {
             addr: addr.to_string(),
+            token,
             stream: None,
         }
     }
@@ -82,8 +136,9 @@ impl Client {
         // try and a fresh connection handles the second.
         for attempt in 0..2 {
             let reused = self.stream.is_some();
+            let token = self.token.clone();
             let stream = self.connected();
-            let outcome = Self::exchange(stream, method, path, body);
+            let outcome = Self::exchange(stream, method, path, body, token.as_deref());
             match outcome {
                 Ok(reply) => {
                     if !reply.keep_alive {
@@ -109,9 +164,10 @@ impl Client {
         method: &str,
         path: &str,
         body: &str,
+        token: Option<&str>,
     ) -> Result<http::WireResponse, String> {
         stream
-            .write_all(&http::request_bytes_with(method, path, body, true))
+            .write_all(&http::request_bytes_auth(method, path, body, true, token))
             .map_err(|e| format!("send failed: {e}"))?;
         let mut parser = ResponseParser::new();
         let mut buf = [0u8; 16 * 1024];
@@ -133,7 +189,8 @@ impl Client {
     }
 }
 
-/// Prints a 2xx body to stdout; anything else to stderr with exit 1.
+/// Prints a 2xx body to stdout; anything else goes to stderr with the
+/// structured reason and a per-class exit code.
 fn expect_ok((status, body): (u16, String)) {
     if (200..300).contains(&status) {
         print!("{body}");
@@ -141,7 +198,7 @@ fn expect_ok((status, body): (u16, String)) {
             println!();
         }
     } else {
-        fail(&format!("daemon replied {status}: {}", body.trim_end()));
+        refuse(status, &body);
     }
 }
 
@@ -172,6 +229,10 @@ fn main() {
         }
         None => "127.0.0.1:4917".to_string(),
     };
+    let token = flag_value(&argv, "--token").inspect(|_| {
+        let i = argv.iter().position(|x| x == "--token").expect("present");
+        argv.drain(i..=i + 1);
+    });
     let Some(command) = argv.first().cloned() else {
         usage();
     };
@@ -182,8 +243,9 @@ fn main() {
             .unwrap_or_else(|| usage())
     };
 
-    let mut client = Client::new(&addr);
+    let mut client = Client::new(&addr, token);
     match command.as_str() {
+        "tenants" => expect_ok(client.call("GET", "/v1/tenants", "")),
         "submit" => {
             let spec_path = flag_value(&argv, "--spec").unwrap_or_else(|| usage());
             expect_ok(client.call("POST", "/v1/studies", &read_spec(&spec_path)));
@@ -206,7 +268,7 @@ fn main() {
             loop {
                 let (status, body) = client.call("GET", &format!("/v1/studies/{name}"), "");
                 if status != 200 {
-                    fail(&format!("daemon replied {status}: {}", body.trim_end()));
+                    refuse(status, &body);
                 }
                 let state = json::parse(&body)
                     .ok()
@@ -241,5 +303,61 @@ fn main() {
             print!("{}", store.to_json(&campaign));
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_refusal_class() {
+        let mapped = [
+            (400, 10),
+            (401, 11),
+            (403, 12),
+            (404, 13),
+            (405, 14),
+            (408, 15),
+            (409, 16),
+            (413, 17),
+            (429, 18),
+        ];
+        for (status, code) in mapped {
+            assert_eq!(exit_code_for(status), code, "status {status}");
+        }
+        // Every mapped class is distinct, and none collides with the
+        // generic 4xx/5xx buckets or the usage/transport codes (1-4).
+        let mut codes: Vec<i32> = mapped.iter().map(|(_, c)| *c).collect();
+        codes.extend([exit_code_for(418), exit_code_for(500)]);
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "exit codes must be distinct");
+        assert_eq!(exit_code_for(418), 19);
+        assert_eq!(exit_code_for(500), 20);
+        assert_eq!(exit_code_for(503), 20);
+        assert!(codes.iter().all(|c| *c >= 10));
+    }
+
+    #[test]
+    fn refusals_render_the_structured_reason() {
+        let body =
+            "{\"error\": {\"status\": 429, \"reason\": \"cell-budget\", \"message\": \"too many cells\"}}\n";
+        assert_eq!(
+            describe_refusal(429, body),
+            "refused (429 cell-budget): too many cells"
+        );
+        // Reason-less structured errors (404s, validation) fall back to
+        // the message; non-JSON bodies fall back to the raw text.
+        let plain = "{\"error\": {\"status\": 404, \"message\": \"unknown study 'x'\"}}\n";
+        assert_eq!(
+            describe_refusal(404, plain),
+            "daemon replied 404: unknown study 'x'"
+        );
+        assert_eq!(
+            describe_refusal(500, "garbage"),
+            "daemon replied 500: garbage"
+        );
     }
 }

@@ -1,18 +1,25 @@
 //! `tunad` — the tuning-as-a-service daemon.
 //!
 //! ```text
-//! tunad [--addr 127.0.0.1:4917] [--data DIR] [--workers N]
+//! tunad [--addr 127.0.0.1:4917] [--data DIR] [--workers N] [--tenants FILE]
 //! ```
 //!
 //! Accepts studies over the HTTP/1.1+JSON wire protocol (see
 //! `tuna_serve::daemon` for the endpoint table), multiplexes them
-//! across `N` worker threads under fair-share scheduling, and persists
-//! every study under `--data` so a killed daemon resumes exactly where
-//! the journal left off. `--workers` defaults to the `TUNA_WORKERS`
-//! environment variable (the workspace-wide knob), then to 1. Binding
-//! port 0 picks an ephemeral port; the chosen address is printed on
-//! stderr either way (`tunad: listening on ...`), so harnesses can
-//! scrape it.
+//! across `N` worker threads under weighted fair-share scheduling, and
+//! persists every study under `--data` so a killed daemon resumes
+//! exactly where the journal left off. `--workers` defaults to the
+//! `TUNA_WORKERS` environment variable (the workspace-wide knob), then
+//! to 1. Binding port 0 picks an ephemeral port; the chosen address is
+//! printed on stderr either way (`tunad: listening on ...`), so
+//! harnesses can scrape it.
+//!
+//! `--tenants FILE` loads a tenant table (see `tuna_serve::tenant` for
+//! the format): bearer tokens, fair-share weights and admission
+//! budgets. With a table, every request must authenticate. Without
+//! one, the daemon runs a single anonymous default tenant — and it
+//! refuses to bind any non-loopback address, because an unauthenticated
+//! daemon must not be reachable off-host.
 //!
 //! # Architecture
 //!
@@ -38,6 +45,7 @@ use tuna_core::campaign::execute_cell;
 use tuna_core::executor::ExecutionMode;
 use tuna_serve::engine::{Engine, EngineConfig};
 use tuna_serve::manager::StudyManager;
+use tuna_serve::tenant::TenantRegistry;
 
 /// How long the loop sleeps waiting for socket readiness before it
 /// wakes anyway to advance time budgets.
@@ -50,8 +58,26 @@ struct Shared {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: tunad [--addr HOST:PORT] [--data DIR] [--workers N]");
+    eprintln!("usage: tunad [--addr HOST:PORT] [--data DIR] [--workers N] [--tenants FILE]");
     std::process::exit(2);
+}
+
+/// Whether every address `addr` resolves to is loopback — the only kind
+/// an unauthenticated (no `--tenants`) daemon may bind.
+fn addr_is_loopback(addr: &str) -> bool {
+    use std::net::ToSocketAddrs;
+    match addr.to_socket_addrs() {
+        Ok(mut addrs) => {
+            let mut any = false;
+            let all = addrs.all(|a| {
+                any = true;
+                a.ip().is_loopback()
+            });
+            any && all
+        }
+        // Unresolvable: let bind() report the real error later.
+        Err(_) => true,
+    }
 }
 
 fn main() {
@@ -59,6 +85,7 @@ fn main() {
     let mut addr = "127.0.0.1:4917".to_string();
     let mut data = "tuna-serve-data".to_string();
     let mut workers = ExecutionMode::from_env().workers();
+    let mut tenants: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         let value = |i: &mut usize| -> String {
@@ -69,13 +96,31 @@ fn main() {
             "--addr" => addr = value(&mut i),
             "--data" => data = value(&mut i),
             "--workers" => workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--tenants" => tenants = Some(value(&mut i)),
             _ => usage(),
         }
         i += 1;
     }
     let workers = workers.max(1);
 
-    let mgr = StudyManager::open(&data).unwrap_or_else(|e| {
+    let registry = match &tenants {
+        Some(path) => TenantRegistry::load(path).unwrap_or_else(|e| {
+            eprintln!("tunad: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            if !addr_is_loopback(&addr) {
+                eprintln!(
+                    "tunad: refusing to bind non-loopback address {addr} without --tenants: \
+                     an unauthenticated daemon must not be reachable off-host"
+                );
+                std::process::exit(1);
+            }
+            TenantRegistry::loopback()
+        }
+    };
+
+    let mgr = StudyManager::open_with(&data, registry).unwrap_or_else(|e| {
         eprintln!("tunad: {e}");
         std::process::exit(1);
     });
@@ -277,18 +322,22 @@ fn worker_loop(shared: &Shared) {
         // (a declaration bug the validation missed) must not kill the
         // worker or leave the cell in flight forever — catch it and
         // cancel the study instead of wedging the pool.
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_cell(&assignment.campaign, assignment.cell, ExecutionMode::Serial)
         }));
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut mgr = shared.mgr.lock().expect("manager lock");
         let result = match outcome {
-            Ok((record, _payload)) => mgr.complete(&assignment.study, record),
+            Ok((record, _payload)) => {
+                mgr.complete_timed(&assignment.tenant, &assignment.study, record, wall_ns)
+            }
             Err(_) => {
                 eprintln!(
                     "tunad: study '{}' cell {} panicked during execution; cancelling the study",
                     assignment.study, assignment.cell
                 );
-                mgr.abandon(&assignment.study, assignment.cell)
+                mgr.abandon(&assignment.tenant, &assignment.study, assignment.cell)
             }
         };
         if let Err(e) = result {

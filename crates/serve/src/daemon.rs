@@ -5,16 +5,30 @@
 //!
 //! | Method | Path                         | Reply |
 //! |--------|------------------------------|-------|
-//! | GET    | `/healthz`                   | `{"ok": true, "studies": N}` |
+//! | GET    | `/healthz`                   | `{"ok": true, "studies": N}` (never requires auth) |
 //! | POST   | `/v1/studies`                | accepted study status (201), idempotent on identical re-submit (200) |
-//! | GET    | `/v1/studies`                | `{"studies": [status, ...]}` |
+//! | GET    | `/v1/studies`                | `{"studies": [status, ...]}` — the caller's tenant only |
 //! | GET    | `/v1/studies/<name>`         | study status |
 //! | GET    | `/v1/studies/<name>/results` | the study's canonical results document (partial while running) |
 //! | POST   | `/v1/studies/<name>/cancel`  | status after cancelling |
+//! | GET    | `/v1/tenants`                | every tenant's weight, budgets and usage meter |
 //!
-//! Every error — framing, JSON, validation, routing — is a structured
-//! JSON body (`{"error": {"status": S, "message": "..."}}`); the daemon
-//! loop never panics on client input.
+//! # Authentication
+//!
+//! Every route except `/healthz` authenticates first. Against a
+//! loopback registry (no `--tenants` table) every request resolves to
+//! the default tenant and tokens are ignored — the pre-tenant behavior,
+//! unchanged. Against a configured table, requests must carry
+//! `authorization: Bearer <token>`: missing token → `401
+//! missing-token`, unknown token → `403 bad-token`. Study routes are
+//! namespaced to the authenticated tenant: listing shows only its
+//! studies, and `<name>` lookups cannot reach another tenant's study
+//! (they 404, indistinguishable from "no such study").
+//!
+//! Every error — framing, JSON, auth, admission, validation, routing —
+//! is a structured JSON body (`{"error": {"status": S, "message":
+//! "..."}}`, plus a machine-readable `"reason"` slug for auth and
+//! admission refusals); the daemon loop never panics on client input.
 //!
 //! Connection-level behavior (keep-alive, pipelining, budgets, load
 //! shedding) lives in [`crate::engine`]; this module is the pure
@@ -22,46 +36,76 @@
 
 use crate::api::{self, StudySpec};
 use crate::http::{parse_request_bytes, Request, Response};
-use crate::manager::{Study, StudyManager};
+use crate::manager::{Refusal, Study, StudyManager};
 
 /// Routes one parsed request against the manager.
 pub fn handle(mgr: &mut StudyManager, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(
+    // Health stays unauthenticated: probes and load balancers carry no
+    // tenant tokens, and the reply leaks only a global count.
+    if let ("GET", ["healthz"]) = (req.method.as_str(), segments.as_slice()) {
+        return Response::json(
             200,
             format!("{{\"ok\": true, \"studies\": {}}}\n", mgr.studies().count()),
-        ),
+        );
+    }
+    let tenant = match mgr.authenticate(req.bearer.as_deref()) {
+        Ok(t) => t,
+        Err(r) => return refusal_response(&r),
+    };
+    match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "studies"]) => match StudySpec::parse(&req.body) {
             Err(e) => Response::error(400, &e),
             // Attach-or-report-existing is a single manager call under
             // whatever lock the caller holds: two racing identical
             // submissions cannot both observe "absent", so exactly one
             // reply is a 201 and the rest are idempotent 200s.
-            Ok(spec) => match mgr.submit(spec) {
-                Ok((study, created)) => status_response(if created { 201 } else { 200 }, study),
-                Err((status, e)) => Response::error(status, &e),
-            },
+            Ok(mut spec) => {
+                // A spec may declare its tenant, but only the one the
+                // token proves.
+                if let Some(declared) = spec.tenant.as_deref() {
+                    if declared != tenant {
+                        return Response::refusal(
+                            403,
+                            "tenant-mismatch",
+                            &format!(
+                                "spec declares tenant '{declared}' but the token \
+                                 authenticates '{tenant}'"
+                            ),
+                        );
+                    }
+                }
+                spec.tenant = Some(tenant.clone());
+                match mgr.submit(spec) {
+                    Ok((study, created)) => status_response(if created { 201 } else { 200 }, study),
+                    Err(r) => refusal_response(&r),
+                }
+            }
         },
         ("GET", ["v1", "studies"]) => {
-            let statuses: Vec<String> = mgr.studies().map(Study::status_json).collect();
+            let statuses: Vec<String> = mgr.studies_of(&tenant).map(Study::status_json).collect();
             Response::json(200, format!("{{\"studies\": [{}]}}\n", statuses.join(", ")))
         }
-        ("GET", ["v1", "studies", name]) => match mgr.get(name) {
+        ("GET", ["v1", "tenants"]) => Response::json(200, mgr.tenants_json()),
+        ("GET", ["v1", "studies", name]) => match mgr.get(&tenant, name) {
             Some(study) => status_response(200, study),
             None => unknown_study(name),
         },
-        ("GET", ["v1", "studies", name, "results"]) => match mgr.results_json(name) {
+        ("GET", ["v1", "studies", name, "results"]) => match mgr.results_json(&tenant, name) {
             Some(doc) => Response::json(200, doc),
             None => unknown_study(name),
         },
-        ("POST", ["v1", "studies", name, "cancel"]) => match mgr.cancel(name) {
+        ("POST", ["v1", "studies", name, "cancel"]) => match mgr.cancel(&tenant, name) {
             Ok(study) => status_response(200, study),
             Err(_) => unknown_study(name),
         },
         ("GET" | "POST", _) => Response::error(404, &format!("no route for {}", req.path)),
         (method, _) => Response::error(405, &format!("method {method} not allowed")),
     }
+}
+
+fn refusal_response(r: &Refusal) -> Response {
+    Response::refusal(r.status, r.reason, &r.message)
 }
 
 fn status_response(status: u16, study: &Study) -> Response {
@@ -106,7 +150,8 @@ pub fn validate_spec(body: &str) -> Result<StudySpec, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::request_bytes;
+    use crate::http::{request_bytes, request_bytes_auth};
+    use crate::tenant::TenantRegistry;
 
     fn spec_body(name: &str) -> String {
         format!(
@@ -119,6 +164,29 @@ mod tests {
     fn call(mgr: &mut StudyManager, method: &str, path: &str, body: &str) -> (u16, String) {
         let raw = handle_bytes(mgr, &request_bytes(method, path, body));
         crate::http::parse_response(&raw).unwrap()
+    }
+
+    fn call_as(
+        mgr: &mut StudyManager,
+        method: &str,
+        path: &str,
+        body: &str,
+        token: Option<&str>,
+    ) -> (u16, String) {
+        let raw = handle_bytes(mgr, &request_bytes_auth(method, path, body, false, token));
+        crate::http::parse_response(&raw).unwrap()
+    }
+
+    fn authed_manager() -> StudyManager {
+        StudyManager::in_memory_with(
+            TenantRegistry::parse(
+                r#"{"tenants": [
+                    {"name": "alice", "token": "alice-secret", "weight": 3},
+                    {"name": "bob", "token": "bob-secret"}
+                ]}"#,
+            )
+            .unwrap(),
+        )
     }
 
     #[test]
@@ -175,5 +243,77 @@ mod tests {
         call(&mut mgr, "POST", "/v1/studies", &spec_body("a"));
         let (_, body) = call(&mut mgr, "GET", "/healthz", "");
         assert!(body.contains("\"studies\": 1"), "{body}");
+    }
+
+    #[test]
+    fn auth_gates_every_route_but_healthz() {
+        let mut mgr = authed_manager();
+        // No token: 401 with the structured reason slug.
+        let (status, body) = call(&mut mgr, "POST", "/v1/studies", &spec_body("s"));
+        assert_eq!(status, 401, "{body}");
+        assert!(body.contains("\"reason\": \"missing-token\""), "{body}");
+        // Wrong token: 403.
+        let (status, body) = call_as(&mut mgr, "GET", "/v1/studies", "", Some("nope"));
+        assert_eq!(status, 403, "{body}");
+        assert!(body.contains("\"reason\": \"bad-token\""), "{body}");
+        // Health needs none.
+        let (status, _) = call(&mut mgr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        // A good token submits.
+        let (status, body) = call_as(
+            &mut mgr,
+            "POST",
+            "/v1/studies",
+            &spec_body("s"),
+            Some("alice-secret"),
+        );
+        assert_eq!(status, 201, "{body}");
+        assert!(body.contains("\"tenant\": \"alice\""), "{body}");
+    }
+
+    #[test]
+    fn tenants_are_namespaced_on_the_wire() {
+        let mut mgr = authed_manager();
+        let alice = Some("alice-secret");
+        let bob = Some("bob-secret");
+        call_as(&mut mgr, "POST", "/v1/studies", &spec_body("job"), alice);
+        // Bob's listing is empty and alice's study 404s for him.
+        let (_, body) = call_as(&mut mgr, "GET", "/v1/studies", "", bob);
+        assert_eq!(body, "{\"studies\": []}\n");
+        let (status, _) = call_as(&mut mgr, "GET", "/v1/studies/job", "", bob);
+        assert_eq!(status, 404);
+        let (status, _) = call_as(&mut mgr, "POST", "/v1/studies/job/cancel", "", bob);
+        assert_eq!(status, 404);
+        // Bob can reuse the name; declaring someone else's tenant is refused.
+        let (status, _) = call_as(&mut mgr, "POST", "/v1/studies", &spec_body("job"), bob);
+        assert_eq!(status, 201);
+        let mismatched =
+            spec_body("other").replace("{\"name\"", "{\"tenant\": \"alice\", \"name\"");
+        let (status, body) = call_as(&mut mgr, "POST", "/v1/studies", &mismatched, bob);
+        assert_eq!(status, 403, "{body}");
+        assert!(body.contains("\"reason\": \"tenant-mismatch\""), "{body}");
+    }
+
+    #[test]
+    fn tenants_endpoint_reports_weights_and_usage() {
+        let mut mgr = authed_manager();
+        call_as(
+            &mut mgr,
+            "POST",
+            "/v1/studies",
+            &spec_body("job"),
+            Some("alice-secret"),
+        );
+        let (status, body) = call_as(&mut mgr, "GET", "/v1/tenants", "", Some("bob-secret"));
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"name\": \"alice\", \"weight\": 3, \"running\": 1"),
+            "{body}"
+        );
+        assert!(body.contains("\"studies\": 1"), "{body}");
+        assert!(
+            body.contains("\"name\": \"bob\", \"weight\": 1, \"running\": 0"),
+            "{body}"
+        );
     }
 }

@@ -45,6 +45,10 @@ pub struct Request {
     /// request (`Connection: close`, or an HTTP/1.0 request without
     /// `keep-alive`). HTTP/1.1 defaults to keep-alive.
     pub close: bool,
+    /// The bearer token presented via `authorization: Bearer <token>`
+    /// (`None` when absent or not a bearer scheme — the tenant registry
+    /// decides whether that is a 401).
+    pub bearer: Option<String>,
 }
 
 /// Why a request could not be parsed.
@@ -94,6 +98,7 @@ struct Head {
     path: String,
     content_length: usize,
     close: bool,
+    bearer: Option<String>,
 }
 
 /// Incremental request parser: feed it transport bytes as they arrive,
@@ -178,6 +183,7 @@ impl RequestParser {
             path: head.path,
             body,
             close: head.close,
+            bearer: head.bearer,
         }))
     }
 
@@ -273,6 +279,7 @@ impl RequestParser {
         let mut content_length: Option<usize> = None;
         // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
         let mut close = version == "HTTP/1.0";
+        let mut bearer: Option<String> = None;
         for line in &lines[1..] {
             let Some((name, value)) = line.split_once(':') else {
                 return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
@@ -311,6 +318,16 @@ impl RequestParser {
                         close = false;
                     }
                 }
+                "authorization" => {
+                    // Only the bearer scheme is understood; anything
+                    // else is equivalent to no token (the registry
+                    // answers 401, not the parser).
+                    if let Some((scheme, token)) = value.split_once(' ') {
+                        if scheme.eq_ignore_ascii_case("bearer") && !token.trim().is_empty() {
+                            bearer = Some(token.trim().to_string());
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -319,6 +336,7 @@ impl RequestParser {
             path,
             content_length: content_length.unwrap_or(0),
             close,
+            bearer,
         })
     }
 }
@@ -373,6 +391,21 @@ impl Response {
         }
     }
 
+    /// A structured JSON refusal with a machine-readable reason slug:
+    /// `{"error": {"status": S, "reason": "...", "message": "..."}}` —
+    /// what auth (401/403) and admission control (429) answer with, so
+    /// clients can branch on `reason` instead of parsing prose.
+    pub fn refusal(status: u16, reason: &str, message: &str) -> Self {
+        Response {
+            status,
+            body: format!(
+                "{{\"error\": {{\"status\": {status}, \"reason\": {}, \"message\": {}}}}}\n",
+                tuna_stats::json::quote(reason),
+                tuna_stats::json::quote(message)
+            ),
+        }
+    }
+
     /// The canonical response for a framing-level [`HttpError`].
     pub fn of_http_error(e: &HttpError) -> Self {
         Response::error(e.status(), e.message())
@@ -384,6 +417,8 @@ impl Response {
             200 => "OK",
             201 => "Created",
             400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
@@ -430,8 +465,25 @@ impl Response {
 /// disposition — the client side of [`RequestParser`], shared by
 /// `tuna-ctl` and the loopback simulator.
 pub fn request_bytes_with(method: &str, path: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    request_bytes_auth(method, path, body, keep_alive, None)
+}
+
+/// [`request_bytes_with`] plus an optional bearer token
+/// (`authorization: Bearer <token>`) — the client side of a
+/// tenant-authenticated daemon.
+pub fn request_bytes_auth(
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+    token: Option<&str>,
+) -> Vec<u8> {
+    let auth = match token {
+        Some(t) => format!("authorization: Bearer {t}\r\n"),
+        None => String::new(),
+    };
     format!(
-        "{method} {path} HTTP/1.1\r\nhost: tunad\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: tunad\r\ncontent-type: application/json\r\n{auth}content-length: {}\r\nconnection: {}\r\n\r\n{body}",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )
@@ -722,6 +774,40 @@ mod tests {
         parser.feed(&Response::json(200, "x").to_wire(false));
         let resp = parser.next_response().unwrap().unwrap();
         assert!(!resp.keep_alive);
+    }
+
+    #[test]
+    fn bearer_tokens_are_extracted() {
+        let raw = request_bytes_auth("GET", "/v1/studies", "", true, Some("s3cret"));
+        assert_eq!(parse(&raw).unwrap().bearer.as_deref(), Some("s3cret"));
+        // No header, a non-bearer scheme, or an empty token all read as
+        // "no token" — the registry turns that into a 401.
+        assert_eq!(parse(&request_bytes("GET", "/x", "")).unwrap().bearer, None);
+        let basic = parse(b"GET /x HTTP/1.1\r\nauthorization: Basic dXNlcg==\r\n\r\n").unwrap();
+        assert_eq!(basic.bearer, None);
+        let empty = parse(b"GET /x HTTP/1.1\r\nauthorization: Bearer  \r\n\r\n").unwrap();
+        assert_eq!(empty.bearer, None);
+        let mixed = parse(b"GET /x HTTP/1.1\r\nAuthorization: bearer tok\r\n\r\n").unwrap();
+        assert_eq!(mixed.bearer.as_deref(), Some("tok"));
+    }
+
+    #[test]
+    fn refusals_carry_a_reason_slug() {
+        let resp = Response::refusal(429, "cell-budget", "over budget");
+        assert_eq!(resp.reason(), "Too Many Requests");
+        let v = tuna_stats::json::parse(&resp.body).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("status").and_then(|s| s.as_f64()), Some(429.0));
+        assert_eq!(
+            err.get("reason").and_then(|r| r.as_str()),
+            Some("cell-budget")
+        );
+        assert_eq!(
+            err.get("message").and_then(|m| m.as_str()),
+            Some("over budget")
+        );
+        assert_eq!(Response::json(401, "").reason(), "Unauthorized");
+        assert_eq!(Response::json(403, "").reason(), "Forbidden");
     }
 
     #[test]

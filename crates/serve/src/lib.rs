@@ -1,7 +1,7 @@
 //! Tuning-as-a-service: the TUNA §6 tune-then-deploy loop behind a
 //! long-lived daemon instead of one-shot batch binaries.
 //!
-//! The crate has five layers, leaf first:
+//! The crate has six layers, leaf first:
 //!
 //! - [`http`]: a hand-rolled, hardened HTTP/1.1 subset (keep-alive and
 //!   pipelining, `Content-Length` framing, explicit limits). The parser
@@ -11,11 +11,18 @@
 //!   maps 1:1 onto a [`tuna_core::campaign::Campaign`], and its
 //!   canonical serialization is the durable identity the daemon
 //!   persists and resumes from.
-//! - [`manager`]: the multi-study scheduler. Fair-share capacity
-//!   accounting hands campaign *cells* to workers so many concurrent
-//!   studies share the trial pool; every study streams through a
-//!   checksummed [`tuna_core::campaign::ResultStore`], which is what
-//!   makes a killed daemon resume byte-identically.
+//! - [`tenant`]: the multi-tenant layer — the tenant table (bearer
+//!   tokens, fair-share weights, admission budgets) and the per-tenant
+//!   usage meter. Loopback daemons run a single implicit default
+//!   tenant with no auth; non-loopback binds require a configured
+//!   table.
+//! - [`manager`]: the multi-tenant, multi-study scheduler. Weighted
+//!   fair share across tenants (with an `interactive` lane preempting
+//!   batch work at cell boundaries), then fair-share capacity
+//!   accounting within a tenant, hands campaign *cells* to workers so
+//!   many concurrent studies share the trial pool; every study streams
+//!   through a checksummed [`tuna_core::campaign::ResultStore`], which
+//!   is what makes a killed daemon resume byte-identically.
 //! - [`engine`]: the per-connection state machine (read-header →
 //!   read-body → dispatch → write-response) with keep-alive,
 //!   pipelining, per-connection byte/time budgets, and bounded
@@ -45,6 +52,7 @@ pub mod engine;
 pub mod http;
 pub mod manager;
 pub mod sim;
+pub mod tenant;
 
 #[cfg(test)]
 mod robustness {

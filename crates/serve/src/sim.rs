@@ -22,8 +22,15 @@ use std::path::PathBuf;
 use crate::engine::{Engine, EngineConfig};
 use crate::http::{self, HttpError, Response};
 use crate::manager::StudyManager;
+use crate::tenant::TenantRegistry;
 use tuna_core::campaign::execute_cell;
 use tuna_core::executor::ExecutionMode;
+
+/// Deterministic wall-time charge per executed cell under the
+/// simulator: virtual nanoseconds proportional to the rows produced, so
+/// usage accounting is reproducible (and restart-stable) on the sim
+/// clock.
+pub const SIM_NS_PER_ROW: u64 = 1000;
 
 /// The in-process daemon with deterministic listener, clock and worker
 /// pool.
@@ -44,6 +51,29 @@ impl SimServer {
     /// Propagates [`StudyManager::open`] failures.
     pub fn new(data_dir: Option<PathBuf>, workers: usize) -> Result<Self, String> {
         Self::with_engine_config(data_dir, workers, EngineConfig::sim_default())
+    }
+
+    /// A simulator over an explicit tenant table — the multi-tenant
+    /// daemon (auth, weighted fair share, admission) on the sim clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StudyManager::open_with`] failures.
+    pub fn with_tenants(
+        data_dir: Option<PathBuf>,
+        workers: usize,
+        registry: TenantRegistry,
+    ) -> Result<Self, String> {
+        let mgr = match data_dir {
+            None => Ok(StudyManager::in_memory_with(registry)),
+            Some(dir) => StudyManager::open_with(dir, registry),
+        }?;
+        Ok(SimServer {
+            mgr,
+            engine: Engine::new(EngineConfig::sim_default()),
+            workers: workers.max(1),
+            ticks: 0,
+        })
     }
 
     /// A simulator with explicit engine budgets (tick units).
@@ -161,13 +191,27 @@ impl SimServer {
         http::parse_response(&raw).unwrap_or_else(|e| (500, Response::error(500, &e).body))
     }
 
+    /// [`SimServer::request`] with a bearer token — the authenticated
+    /// variant multi-tenant tests drive.
+    pub fn request_as(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        token: Option<&str>,
+    ) -> (u16, String) {
+        let raw = self.request_bytes(&http::request_bytes_auth(method, path, body, false, token));
+        http::parse_response(&raw).unwrap_or_else(|e| (500, Response::error(500, &e).body))
+    }
+
     // --- Virtual worker pool. ----------------------------------------
 
     /// One scheduling quantum: advances the clock, claims up to
-    /// `workers` assignments under fair share, executes them all,
-    /// records the results. Returns the `(study, cell)` pairs that
-    /// completed this tick.
-    pub fn step(&mut self) -> Vec<(String, usize)> {
+    /// `workers` assignments under weighted fair share, executes them
+    /// all, records the results (charging [`SIM_NS_PER_ROW`] virtual
+    /// wall-ns per produced row to the owning tenant's meter). Returns
+    /// the `(tenant, study, cell)` triples that completed this tick.
+    pub fn step(&mut self) -> Vec<(String, String, usize)> {
         self.tick();
         let mut claimed = Vec::new();
         for _ in 0..self.workers {
@@ -179,10 +223,11 @@ impl SimServer {
         let mut done = Vec::with_capacity(claimed.len());
         for a in claimed {
             let (record, _payload) = execute_cell(&a.campaign, a.cell, ExecutionMode::Serial);
+            let wall_ns = SIM_NS_PER_ROW * record.rows.len() as u64;
             self.mgr
-                .complete(&a.study, record)
+                .complete_timed(&a.tenant, &a.study, record, wall_ns)
                 .expect("sim completion of a just-claimed cell");
-            done.push((a.study, a.cell));
+            done.push((a.tenant, a.study, a.cell));
         }
         done
     }
@@ -258,8 +303,8 @@ mod tests {
         sim.request("POST", "/v1/studies", &spec_body("a", 6));
         sim.request("POST", "/v1/studies", &spec_body("b", 6));
         let done = sim.step();
-        let a_count = done.iter().filter(|(s, _)| s == "a").count();
-        let b_count = done.iter().filter(|(s, _)| s == "b").count();
+        let a_count = done.iter().filter(|(_, s, _)| s == "a").count();
+        let b_count = done.iter().filter(|(_, s, _)| s == "b").count();
         assert_eq!((a_count, b_count), (2, 2), "fair share within one tick");
     }
 

@@ -1,0 +1,465 @@
+//! Tenant identity, authentication and usage accounting — the
+//! multi-tenant half of the daemon.
+//!
+//! A [`TenantRegistry`] is the daemon's tenant table: who may talk to
+//! it, with what bearer token, at what fair-share weight, and under
+//! which admission budgets. Two modes exist:
+//!
+//! - **Loopback** ([`TenantRegistry::loopback`]): a single implicit
+//!   [`DEFAULT_TENANT`] with weight 1 and no budgets. No token is
+//!   required (or checked) — this is the only mode in which `tunad`
+//!   may bind a loopback address, and the mode every pre-tenant test
+//!   and tool keeps using unchanged.
+//! - **Configured** ([`TenantRegistry::load`]): a JSON tenant table.
+//!   Every request must carry `authorization: Bearer <token>`; a
+//!   missing token is a `401`, an unknown one a `403` (both as
+//!   structured JSON through the normal engine path). `tunad` refuses
+//!   to bind a non-loopback address without a configured table.
+//!
+//! The config file is one JSON document:
+//!
+//! ```json
+//! {
+//!   "tenants": [
+//!     {"name": "alice", "token": "alice-secret", "weight": 3,
+//!      "max_cells": 10000, "max_studies": 4},
+//!     {"name": "bob", "token": "bob-secret"}
+//!   ]
+//! }
+//! ```
+//!
+//! `weight` defaults to 1; `max_cells` (outstanding-cell budget) and
+//! `max_studies` (concurrent running studies) default to unlimited.
+//!
+//! [`TenantUsage`] is the per-tenant meter the scheduler maintains —
+//! studies accepted, cells executed, wall nanoseconds charged — and
+//! persists next to the stores (`tenant_usage.json`, canonical and
+//! atomically written, so a kill/restart preserves it byte-identically).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::api::valid_name;
+use tuna_stats::json::{self, Value};
+
+/// The implicit tenant of loopback mode and of studies predating the
+/// tenant table.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Largest accepted fair-share weight.
+pub const MAX_WEIGHT: u64 = 1_000_000;
+
+/// One row of the tenant table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tenant {
+    /// Tenant name — the namespace studies live in (same charset rules
+    /// as study names; doubles as the on-disk subdirectory name).
+    pub name: String,
+    /// Bearer token (`None` only for the loopback default tenant).
+    token: Option<String>,
+    /// Fair-share weight: a tenant with weight 3 gets 3x the cells of a
+    /// weight-1 tenant under contention.
+    pub weight: u64,
+    /// Admission budget: max outstanding (declared minus completed)
+    /// cells across the tenant's running studies.
+    pub max_cells: Option<u64>,
+    /// Admission budget: max concurrently running studies.
+    pub max_studies: Option<u64>,
+}
+
+/// Why a request failed authentication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// No usable `authorization: Bearer <token>` header — HTTP 401.
+    Missing(String),
+    /// A token was presented but matches no tenant — HTTP 403.
+    Forbidden(String),
+}
+
+impl AuthError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            AuthError::Missing(_) => 401,
+            AuthError::Forbidden(_) => 403,
+        }
+    }
+
+    /// The structured refusal reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            AuthError::Missing(_) => "missing-token",
+            AuthError::Forbidden(_) => "bad-token",
+        }
+    }
+
+    /// The client-facing detail.
+    pub fn message(&self) -> &str {
+        match self {
+            AuthError::Missing(m) | AuthError::Forbidden(m) => m,
+        }
+    }
+}
+
+/// The tenant table: names, tokens, weights, budgets.
+#[derive(Debug, Clone)]
+pub struct TenantRegistry {
+    tenants: BTreeMap<String, Tenant>,
+    auth_required: bool,
+}
+
+impl TenantRegistry {
+    /// The loopback registry: one anonymous [`DEFAULT_TENANT`], no auth.
+    pub fn loopback() -> Self {
+        let mut tenants = BTreeMap::new();
+        tenants.insert(
+            DEFAULT_TENANT.to_string(),
+            Tenant {
+                name: DEFAULT_TENANT.to_string(),
+                token: None,
+                weight: 1,
+                max_cells: None,
+                max_studies: None,
+            },
+        );
+        TenantRegistry {
+            tenants,
+            auth_required: false,
+        }
+    }
+
+    /// Parses a tenant-table document. Auth is required against the
+    /// resulting registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, invalid names/weights,
+    /// missing or duplicated tokens, or an empty table.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).map_err(|e| format!("invalid tenant config JSON: {e}"))?;
+        let rows = v
+            .get("tenants")
+            .and_then(Value::as_arr)
+            .ok_or("tenant config must be an object with a 'tenants' array")?;
+        if rows.is_empty() {
+            return Err("tenant config declares no tenants".into());
+        }
+        let mut tenants: BTreeMap<String, Tenant> = BTreeMap::new();
+        for row in rows {
+            let name = row
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("tenant entry lacks a string 'name'")?
+                .to_string();
+            if !valid_name(&name) {
+                return Err(format!(
+                    "invalid tenant name {name:?}: use 1-128 chars of [A-Za-z0-9._-], not starting with '.'"
+                ));
+            }
+            let token = row
+                .get("token")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("tenant '{name}' lacks a string 'token'"))?
+                .to_string();
+            if token.is_empty() || token.len() > 128 || !token.chars().all(|c| c.is_ascii_graphic())
+            {
+                return Err(format!(
+                    "tenant '{name}': token must be 1-128 printable ASCII chars without spaces"
+                ));
+            }
+            let weight = match row.get("weight") {
+                None => 1,
+                Some(w) => {
+                    let x = w
+                        .as_f64()
+                        .filter(|x| x.fract() == 0.0 && (1.0..=MAX_WEIGHT as f64).contains(x))
+                        .ok_or_else(|| {
+                            format!(
+                                "tenant '{name}': 'weight' must be an integer in 1..={MAX_WEIGHT}"
+                            )
+                        })?;
+                    x as u64
+                }
+            };
+            let budget = |field: &str| -> Result<Option<u64>, String> {
+                match row.get(field) {
+                    None => Ok(None),
+                    Some(b) => {
+                        let x = b
+                            .as_f64()
+                            .filter(|x| x.fract() == 0.0 && (1.0..=1e15).contains(x))
+                            .ok_or_else(|| {
+                                format!("tenant '{name}': '{field}' must be a positive integer")
+                            })?;
+                        Ok(Some(x as u64))
+                    }
+                }
+            };
+            let tenant = Tenant {
+                name: name.clone(),
+                token: Some(token.clone()),
+                weight,
+                max_cells: budget("max_cells")?,
+                max_studies: budget("max_studies")?,
+            };
+            if tenants.insert(name.clone(), tenant).is_some() {
+                return Err(format!("duplicate tenant '{name}'"));
+            }
+            if tenants
+                .values()
+                .filter(|t| t.token.as_deref() == Some(token.as_str()))
+                .count()
+                > 1
+            {
+                return Err(format!(
+                    "tenant '{name}': token already used by another tenant"
+                ));
+            }
+        }
+        Ok(TenantRegistry {
+            tenants,
+            auth_required: true,
+        })
+    }
+
+    /// Loads and parses a tenant-table file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be read or fails
+    /// [`TenantRegistry::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read tenant config {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Whether requests must carry a bearer token.
+    pub fn auth_required(&self) -> bool {
+        self.auth_required
+    }
+
+    /// Looks up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.get(name)
+    }
+
+    /// All tenants, name-ordered.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
+    /// Resolves a request's bearer token (as extracted by the HTTP
+    /// parser from `authorization: Bearer <token>`) to a tenant.
+    ///
+    /// In loopback mode every request (with or without a token)
+    /// resolves to the default tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::Missing`] (401) without a bearer token;
+    /// [`AuthError::Forbidden`] (403) for a token matching no tenant.
+    pub fn authenticate(&self, bearer: Option<&str>) -> Result<&Tenant, AuthError> {
+        if !self.auth_required {
+            return Ok(self
+                .tenants
+                .get(DEFAULT_TENANT)
+                .expect("loopback registry has a default tenant"));
+        }
+        let token = bearer.ok_or_else(|| {
+            AuthError::Missing("this daemon requires 'authorization: Bearer <token>'".into())
+        })?;
+        self.tenants
+            .values()
+            .find(|t| t.token.as_deref() == Some(token))
+            .ok_or_else(|| AuthError::Forbidden("token matches no tenant".into()))
+    }
+}
+
+/// Per-tenant usage meter (monotonic counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Studies accepted (counting each created study once).
+    pub studies: u64,
+    /// Cells executed to completion.
+    pub cells: u64,
+    /// Wall nanoseconds charged for those cells (deterministic virtual
+    /// time under the simulator, real elapsed time under `tunad`).
+    pub wall_ns: u64,
+}
+
+impl TenantUsage {
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == TenantUsage::default()
+    }
+}
+
+/// Canonical serialization of a usage table — what the manager persists
+/// as `tenant_usage.json` (sorted by tenant, zero rows omitted).
+pub fn usage_to_json(usage: &BTreeMap<String, TenantUsage>) -> String {
+    let rows: Vec<String> = usage
+        .iter()
+        .filter(|(_, u)| !u.is_zero())
+        .map(|(name, u)| {
+            format!(
+                "    {{\"tenant\": {}, \"studies\": {}, \"cells\": {}, \"wall_ns\": {}}}",
+                json::quote(name),
+                u.studies,
+                u.cells,
+                u.wall_ns
+            )
+        })
+        .collect();
+    if rows.is_empty() {
+        "{\n  \"usage\": []\n}\n".to_string()
+    } else {
+        format!("{{\n  \"usage\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    }
+}
+
+/// Parses a persisted usage table.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or invalid counters — a daemon
+/// must not silently drop accounting it wrote.
+pub fn parse_usage(text: &str) -> Result<BTreeMap<String, TenantUsage>, String> {
+    let v = json::parse(text).map_err(|e| format!("invalid usage JSON: {e}"))?;
+    let rows = v
+        .get("usage")
+        .and_then(Value::as_arr)
+        .ok_or("usage file must be an object with a 'usage' array")?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let name = row
+            .get("tenant")
+            .and_then(Value::as_str)
+            .ok_or("usage row lacks a string 'tenant'")?
+            .to_string();
+        let counter = |field: &str| -> Result<u64, String> {
+            row.get(field)
+                .and_then(Value::as_f64)
+                .filter(|x| x.fract() == 0.0 && (0.0..=1.8e19).contains(x))
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("usage row '{name}': bad '{field}'"))
+        };
+        let usage = TenantUsage {
+            studies: counter("studies")?,
+            cells: counter("cells")?,
+            wall_ns: counter("wall_ns")?,
+        };
+        if out.insert(name.clone(), usage).is_some() {
+            return Err(format!("duplicate usage row for tenant '{name}'"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TenantRegistry {
+        TenantRegistry::parse(
+            r#"{"tenants": [
+                {"name": "alice", "token": "alice-secret", "weight": 3,
+                 "max_cells": 100, "max_studies": 2},
+                {"name": "bob", "token": "bob-secret"}
+            ]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loopback_needs_no_token() {
+        let reg = TenantRegistry::loopback();
+        assert!(!reg.auth_required());
+        assert_eq!(reg.authenticate(None).unwrap().name, DEFAULT_TENANT);
+        // Tokens are ignored, not rejected — loopback clients predate auth.
+        assert_eq!(
+            reg.authenticate(Some("whatever")).unwrap().name,
+            DEFAULT_TENANT
+        );
+    }
+
+    #[test]
+    fn configured_registry_authenticates() {
+        let reg = table();
+        assert!(reg.auth_required());
+        assert_eq!(
+            reg.authenticate(Some("alice-secret")).unwrap().name,
+            "alice"
+        );
+        assert_eq!(reg.authenticate(Some("bob-secret")).unwrap().name, "bob");
+        let missing = reg.authenticate(None).unwrap_err();
+        assert_eq!((missing.status(), missing.reason()), (401, "missing-token"));
+        let bad = reg.authenticate(Some("nope")).unwrap_err();
+        assert_eq!((bad.status(), bad.reason()), (403, "bad-token"));
+    }
+
+    #[test]
+    fn parse_validates_the_table() {
+        for (text, needle) in [
+            ("nope", "invalid tenant config"),
+            (r#"{"tenants": []}"#, "no tenants"),
+            (
+                r#"{"tenants": [{"name": "a b", "token": "t"}]}"#,
+                "invalid tenant name",
+            ),
+            (r#"{"tenants": [{"name": "a"}]}"#, "lacks a string 'token'"),
+            (
+                r#"{"tenants": [{"name": "a", "token": "has space"}]}"#,
+                "printable ASCII",
+            ),
+            (
+                r#"{"tenants": [{"name": "a", "token": "t", "weight": 0}]}"#,
+                "'weight'",
+            ),
+            (
+                r#"{"tenants": [{"name": "a", "token": "t", "max_cells": -1}]}"#,
+                "'max_cells'",
+            ),
+            (
+                r#"{"tenants": [{"name": "a", "token": "t"}, {"name": "a", "token": "u"}]}"#,
+                "duplicate tenant",
+            ),
+            (
+                r#"{"tenants": [{"name": "a", "token": "t"}, {"name": "b", "token": "t"}]}"#,
+                "already used",
+            ),
+        ] {
+            let err = TenantRegistry::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text} -> {err}");
+        }
+        let reg = table();
+        assert_eq!(reg.get("alice").unwrap().weight, 3);
+        assert_eq!(reg.get("alice").unwrap().max_cells, Some(100));
+        assert_eq!(reg.get("bob").unwrap().weight, 1);
+        assert_eq!(reg.get("bob").unwrap().max_studies, None);
+    }
+
+    #[test]
+    fn usage_round_trips_canonically() {
+        let mut usage = BTreeMap::new();
+        usage.insert(
+            "alice".to_string(),
+            TenantUsage {
+                studies: 2,
+                cells: 37,
+                wall_ns: 12345,
+            },
+        );
+        usage.insert("idle".to_string(), TenantUsage::default());
+        let text = usage_to_json(&usage);
+        let parsed = parse_usage(&text).unwrap();
+        // Zero rows are omitted on write and therefore absent on read.
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["alice"].cells, 37);
+        // Canonical serialization is a fixed point.
+        assert_eq!(usage_to_json(&parsed), text);
+        assert_eq!(usage_to_json(&BTreeMap::new()), "{\n  \"usage\": []\n}\n");
+        assert!(parse_usage("garbage").is_err());
+    }
+}

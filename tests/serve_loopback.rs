@@ -104,8 +104,8 @@ fn kill_restart_resume_is_byte_identical_across_workers_and_batch() {
         // workers each study holds half the pool.
         let first_tick = sim.step();
         if workers == 4 {
-            let alpha_cells = first_tick.iter().filter(|(s, _)| s == "alpha").count();
-            let beta_cells = first_tick.iter().filter(|(s, _)| s == "beta").count();
+            let alpha_cells = first_tick.iter().filter(|(_, s, _)| s == "alpha").count();
+            let beta_cells = first_tick.iter().filter(|(_, s, _)| s == "beta").count();
             assert_eq!(
                 (alpha_cells, beta_cells),
                 (2, 2),

@@ -111,6 +111,8 @@ fn main() {
         exp.sku.name,
         exp.region.name
     );
+    // lint:allow(wall-clock): CLI progress reporting only — the elapsed
+    // time is printed to the user and never feeds the tuning result.
     let t0 = std::time::Instant::now();
     let summary = exp.run(method, seed);
     let elapsed = t0.elapsed();

@@ -19,7 +19,7 @@
 //! Configs completing the maximum budget feed the noise-adjuster training
 //! set (inference happens before training, so no leakage — §6.6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::adjuster::{AdjusterConfig, NoiseAdjuster};
 use crate::aggregate::AggregationPolicy;
@@ -167,10 +167,10 @@ pub struct TunaPipeline<'a> {
     scheduler: TaskScheduler,
     detector: OutlierDetector,
     adjuster: NoiseAdjuster,
-    samples: HashMap<ConfigId, Vec<Sample>>,
-    configs: HashMap<ConfigId, Config>,
-    unstable_seen: HashMap<ConfigId, bool>,
-    trained_configs: HashMap<ConfigId, bool>,
+    samples: BTreeMap<ConfigId, Vec<Sample>>,
+    configs: BTreeMap<ConfigId, Config>,
+    unstable_seen: BTreeMap<ConfigId, bool>,
+    trained_configs: BTreeMap<ConfigId, bool>,
     trace: Vec<IterationRecord>,
     round: usize,
     exec: ExecStats,
@@ -207,10 +207,10 @@ impl<'a> TunaPipeline<'a> {
             scheduler,
             detector,
             adjuster,
-            samples: HashMap::new(),
-            configs: HashMap::new(),
-            unstable_seen: HashMap::new(),
-            trained_configs: HashMap::new(),
+            samples: BTreeMap::new(),
+            configs: BTreeMap::new(),
+            unstable_seen: BTreeMap::new(),
+            trained_configs: BTreeMap::new(),
             trace: Vec::new(),
             round: 0,
             exec: ExecStats::default(),

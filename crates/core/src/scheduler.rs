@@ -7,7 +7,7 @@
 //! tracks per-config visited sets and balances new work onto the
 //! least-loaded eligible workers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tuna_space::ConfigId;
 
@@ -15,7 +15,7 @@ use tuna_space::ConfigId;
 #[derive(Debug, Clone)]
 pub struct TaskScheduler {
     cluster_size: usize,
-    visited: HashMap<ConfigId, Vec<usize>>,
+    visited: BTreeMap<ConfigId, Vec<usize>>,
     load: Vec<u64>,
 }
 
@@ -29,7 +29,7 @@ impl TaskScheduler {
         assert!(cluster_size > 0, "empty cluster");
         TaskScheduler {
             cluster_size,
-            visited: HashMap::new(),
+            visited: BTreeMap::new(),
             load: vec![0; cluster_size],
         }
     }

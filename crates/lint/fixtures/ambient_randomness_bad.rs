@@ -1,0 +1,11 @@
+// Seeded violation: ambient (unseeded) randomness.
+use std::collections::hash_map::RandomState;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn state() -> RandomState {
+    RandomState::new()
+}

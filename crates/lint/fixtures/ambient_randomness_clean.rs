@@ -1,0 +1,4 @@
+// Clean twin: all randomness forks from a seeded stream.
+pub fn roll(rng: &mut tuna_stats::Rng) -> u64 {
+    rng.next_u64()
+}

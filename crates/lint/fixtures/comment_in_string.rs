@@ -1,0 +1,24 @@
+// Regression fixture for the comment-stripping bug inherited from
+// tests/float_ordering_lint.rs: that lint stripped everything after
+// the first `//` on a line, so a string literal containing slashes hid
+// any violation to its right — and pattern text inside strings or
+// comments was matched as if it were code. Four probes:
+//
+// 1. A real violation AFTER a `//` inside a string: must be caught.
+pub fn hidden_violation(a: f64, b: f64) -> std::cmp::Ordering {
+    let url = "http://example.com/metrics"; a.partial_cmp(&b).unwrap()
+}
+
+// 2. Pattern text inside a plain string: must NOT be flagged.
+pub fn pattern_in_string() -> &'static str {
+    "Instant::now HashMap thread_rng unsafe partial_cmp(x).unwrap()"
+}
+
+// 3. Pattern text inside a raw string with quotes: must NOT be flagged.
+pub fn pattern_in_raw_string() -> &'static str {
+    r#"SystemTime::now() says "HashSet" and RandomState"#
+}
+
+// 4. Pattern text in comments only: must NOT be flagged.
+// Instant::now() HashMap::new() a.partial_cmp(&b).unwrap() unsafe
+pub fn clean() {}

@@ -1,0 +1,15 @@
+// Seeded violation: panicking float comparison, including the
+// multi-line form the lookahead window must catch.
+pub fn sort_costs(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_cost(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("costs must be comparable")
+        })
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,9 @@
+// Clean twin: total_cmp ranks NaN instead of panicking. A
+// partial_cmp whose result is handled (no unwrap/expect) is fine too.
+pub fn sort_costs(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn lt(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(std::cmp::Ordering::Less))
+}

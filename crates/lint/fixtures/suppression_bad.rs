@@ -1,0 +1,22 @@
+// Every suppression here is itself a violation.
+use std::time::Instant;
+
+pub fn unjustified() -> Instant {
+    // lint:allow(wall-clock)
+    Instant::now()
+}
+
+pub fn empty_justification() -> Instant {
+    // lint:allow(wall-clock):
+    Instant::now()
+}
+
+pub fn unknown_rule() -> u64 {
+    // lint:allow(no-such-rule): confidently wrong
+    42
+}
+
+pub fn unused() -> u64 {
+    // lint:allow(float-ordering): nothing here compares floats at all
+    7
+}

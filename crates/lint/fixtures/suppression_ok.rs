@@ -1,0 +1,14 @@
+// Valid suppressions: justified, matching a real diagnostic — one as
+// a standalone comment (with a wrapped justification) and one
+// trailing on the flagged line.
+use std::time::Instant;
+
+pub fn progress_stamp() -> Instant {
+    // lint:allow(wall-clock): progress display only; the value is
+    // printed and never reaches a result or checksum.
+    Instant::now()
+}
+
+pub fn another_stamp() -> Instant {
+    Instant::now() // lint:allow(wall-clock): display only.
+}

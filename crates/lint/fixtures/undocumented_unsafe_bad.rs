@@ -1,0 +1,6 @@
+// Seeded violation: unsafe without a SAFETY: comment. The comment
+// directly above this block explains nothing about soundness.
+pub fn read_first(xs: &[u8]) -> u8 {
+    // Fast path for hot loops.
+    unsafe { *xs.get_unchecked(0) }
+}

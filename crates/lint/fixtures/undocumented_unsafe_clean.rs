@@ -1,0 +1,14 @@
+// Clean twin: every unsafe states its invariant, either in the
+// comment block directly above (which may run several lines) or
+// trailing on the same line.
+pub fn read_first(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `xs` is non-empty (checked at the
+    // public boundary), so index 0 is in bounds. The extra prose here
+    // proves multi-line SAFETY blocks are recognized all the way down
+    // to the unsafe token.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn read_second(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(1) } // SAFETY: caller guarantees len >= 2.
+}

@@ -1,0 +1,12 @@
+// Seeded violation: std hash collections in production code.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_default() += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,24 @@
+// Clean twin: ordered collections in production code; hash
+// collections only inside the #[cfg(test)] module, which is exempt.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_default() += 1;
+    }
+    seen.len() + counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn membership_assertions_may_hash() {
+        let s: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert!(s.contains(&2));
+    }
+}

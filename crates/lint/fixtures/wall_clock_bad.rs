@@ -1,0 +1,14 @@
+// Seeded violation: wall-clock reads in a deterministic path.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_seed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn epoch_seed() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}

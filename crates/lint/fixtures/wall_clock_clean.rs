@@ -1,0 +1,8 @@
+// Clean twin: time flows through a caller-supplied tick counter, and
+// wall-clock identifiers appear only in comments ("Instant::now") and
+// strings — neither may trip the rule.
+pub fn elapsed_ticks(now_ticks: u64, started_ticks: u64) -> u64 {
+    let banner = "no Instant::now or SystemTime::now here";
+    let _ = banner;
+    now_ticks - started_ticks
+}

@@ -1,0 +1,131 @@
+//! `tuna-lint` — run the determinism-contract lints over a source tree.
+//!
+//! ```text
+//! tuna-lint [--root DIR] [--format human|json] [--list]
+//! ```
+//!
+//! Scans `DIR` (default: the current directory — workspace root when
+//! run via `cargo run -p tuna-lint`) and exits 1 if any diagnostic is
+//! found, 0 on a clean tree. `--list` prints the rule table (id,
+//! severity, allowlist) and exits; docs/LINTS.md is spot-checked
+//! against this output.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tuna_lint::{Engine, Report};
+use tuna_stats::json::quote;
+
+fn usage() -> ! {
+    eprintln!("usage: tuna-lint [--root DIR] [--format human|json] [--list]");
+    std::process::exit(2);
+}
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn print_list(engine: &Engine) {
+    println!("{:<22} {:<9} allowlist", "rule", "severity");
+    for rule in engine.rules() {
+        let allow = if rule.allow_paths.is_empty() {
+            "-".to_string()
+        } else {
+            rule.allow_paths.join(", ")
+        };
+        println!("{:<22} {:<9} {}", rule.id, rule.severity.as_str(), allow);
+        println!("{:<22} {:<9} {}", "", "", rule.summary);
+    }
+    println!("{:<22} {:<9} -", tuna_lint::SUPPRESSION_RULE, "deny");
+    let sup_summary = "malformed, unjustified, unknown-rule or unused `lint:allow` markers";
+    println!("{:<22} {:<9} {sup_summary}", "", "");
+}
+
+fn print_human(report: &Report) {
+    for d in &report.diagnostics {
+        println!("{d}");
+        println!("    help: {}", d.help);
+    }
+    println!(
+        "{} files scanned, {} diagnostic{}",
+        report.files_scanned,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::new();
+    out.push_str("{\"files_scanned\":");
+    out.push_str(&report.files_scanned.to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"help\":{}}}",
+            quote(&d.rule),
+            quote(&d.path),
+            d.line,
+            quote(&d.message),
+            quote(&d.help),
+        ));
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
+    let mut list = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--root" => root = PathBuf::from(value(&mut i)),
+            "--format" => {
+                format = match value(&mut i).as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    _ => usage(),
+                }
+            }
+            "--list" => list = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let engine = Engine::builtin();
+    if list {
+        print_list(&engine);
+        return ExitCode::SUCCESS;
+    }
+    let report = match engine.check_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tuna-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Human => print_human(&report),
+        Format::Json => print_json(&report),
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

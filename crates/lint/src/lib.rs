@@ -1,0 +1,49 @@
+//! `tuna-lint` — token-aware static analysis enforcing the
+//! determinism contract.
+//!
+//! Every guarantee this reproduction makes — bit-identical results at
+//! any `TUNA_WORKERS` count, kill/restart byte-identity,
+//! checksum-stable perfgate scenarios — rests on the determinism
+//! contract (docs/ARCHITECTURE.md). This crate enforces the
+//! mechanically checkable part of that contract at the source level:
+//!
+//! - **`wall-clock`** — no `Instant::now`/`SystemTime::now` outside
+//!   the files whose job is wall time,
+//! - **`ambient-randomness`** — no `thread_rng`/`from_entropy`/
+//!   `RandomState`,
+//! - **`unordered-iteration`** — no std `HashMap`/`HashSet` outside
+//!   test code,
+//! - **`float-ordering`** — no `partial_cmp` + `unwrap`/`expect`,
+//! - **`undocumented-unsafe`** — every `unsafe` carries a
+//!   `// SAFETY:` comment.
+//!
+//! Violations that are genuinely fine carry an explicit, justified
+//! suppression — `// lint:allow(<rule>): <why>` — and a suppression
+//! without a justification (or one that no longer hits) is itself a
+//! diagnostic. Rules match a lexer-grade *code view* ([`scan::scan`]), so
+//! `//` inside a string literal cannot hide a violation and pattern
+//! text inside comments cannot fake one.
+//!
+//! One core, three frontends: the `tuna-lint` binary (human and
+//! `--format json` output, `--list` rule table), the
+//! `tests/source_lints.rs` harness, and the CI `lints` job. Rule
+//! semantics and the contract mapping are documented in docs/LINTS.md.
+//!
+//! ```
+//! use tuna_lint::Engine;
+//!
+//! let diags = Engine::builtin().check_file(
+//!     "crates/demo/src/lib.rs",
+//!     "fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "wall-clock");
+//! ```
+
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use engine::{Diagnostic, Engine, Report, SUPPRESSION_RULE};
+pub use rules::{Rule, Severity};
+pub use scan::{scan, Comment, Scanned};

@@ -1,0 +1,388 @@
+//! Token-aware Rust source scanning.
+//!
+//! The naive `line.split("//")` comment stripping the old
+//! `tests/float_ordering_lint.rs` used had two failure modes: a `//`
+//! inside a string literal truncated the line (hiding any violation
+//! after the string), and pattern text inside strings or comments was
+//! matched as if it were code. [`scan`] fixes both by walking the
+//! source with a real lexer-grade state machine: line comments, block
+//! comments (nested), string / raw-string / byte-string literals and
+//! char literals (disambiguated from lifetimes) are all recognized.
+//!
+//! The output is a *code view* — the same text, byte-for-byte the same
+//! line structure, with comment bodies and literal contents blanked to
+//! spaces — plus the comments themselves, one entry per source line,
+//! so rules can match code without false positives and still read
+//! `// SAFETY:` / `// lint:allow(...)` annotations.
+
+/// One comment's text, attributed to the line it appears on.
+///
+/// A block comment spanning several lines yields one `Comment` per
+/// line, so line-oriented lookups (is there a `SAFETY:` within three
+/// lines above?) need no special casing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: usize,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Result of [`scan`]: the blanked code view plus extracted comments.
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// Source text with comments and literal bodies replaced by
+    /// spaces. Newlines are preserved, so line N of `code` is line N
+    /// of the input; string/char delimiters (`"`, `'`) survive so the
+    /// view still reads roughly like Rust.
+    pub code: String,
+    /// Every comment, one entry per (line, comment) pair.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans Rust source into a code view and a comment list.
+pub fn scan(src: &str) -> Scanned {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // Whether the previous code character could end an identifier —
+    // `br"x"` starts a raw byte string but `abr"x"` is an identifier
+    // followed by a plain string.
+    let mut prev_ident = false;
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                let start = line;
+                let mut text = String::new();
+                code.push_str("  ");
+                i += 2;
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                comments.push(Comment { line: start, text });
+                prev_ident = false;
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1usize;
+                let mut text = String::new();
+                let mut text_line = line;
+                code.push_str("  ");
+                i += 2;
+                while i < n && depth > 0 {
+                    let d = chars[i];
+                    let dn = chars.get(i + 1).copied();
+                    if d == '/' && dn == Some('*') {
+                        depth += 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if d == '*' && dn == Some('/') {
+                        depth -= 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if d == '\n' {
+                        comments.push(Comment {
+                            line: text_line,
+                            text: std::mem::take(&mut text),
+                        });
+                        code.push('\n');
+                        line += 1;
+                        text_line = line;
+                        i += 1;
+                    } else {
+                        text.push(d);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: text_line,
+                    text,
+                });
+                prev_ident = false;
+            }
+            '"' => {
+                consume_string(&chars, &mut i, &mut code, &mut line);
+                prev_ident = false;
+            }
+            'r' if !prev_ident && matches!(next, Some('"') | Some('#')) => {
+                if !consume_raw_string(&chars, &mut i, &mut code, &mut line) {
+                    // `r#ident` (raw identifier) or a lone `r#`: plain code.
+                    code.push(c);
+                    i += 1;
+                    prev_ident = true;
+                }
+            }
+            'b' if !prev_ident && next == Some('"') => {
+                code.push('b');
+                i += 1;
+                consume_string(&chars, &mut i, &mut code, &mut line);
+                prev_ident = false;
+            }
+            'b' if !prev_ident && next == Some('\'') => {
+                code.push('b');
+                i += 1;
+                consume_char_or_lifetime(&chars, &mut i, &mut code);
+                prev_ident = false;
+            }
+            'b' if !prev_ident
+                && next == Some('r')
+                && matches!(chars.get(i + 2), Some('"') | Some('#')) =>
+            {
+                code.push('b');
+                i += 1;
+                if !consume_raw_string(&chars, &mut i, &mut code, &mut line) {
+                    code.push('r');
+                    i += 1;
+                    prev_ident = true;
+                }
+            }
+            '\'' => {
+                consume_char_or_lifetime(&chars, &mut i, &mut code);
+                prev_ident = false;
+            }
+            '\n' => {
+                code.push('\n');
+                line += 1;
+                i += 1;
+                prev_ident = false;
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+                prev_ident = c.is_alphanumeric() || c == '_';
+            }
+        }
+    }
+
+    comments.retain(|c| !c.text.trim().is_empty());
+    Scanned { code, comments }
+}
+
+/// Consumes a `"..."` literal starting at `chars[*i] == '"'`, blanking
+/// its body. Handles `\"`/`\\` escapes, multi-line strings, and the
+/// `\<newline>` line continuation.
+fn consume_string(chars: &[char], i: &mut usize, code: &mut String, line: &mut usize) {
+    let n = chars.len();
+    code.push('"');
+    *i += 1;
+    while *i < n {
+        match chars[*i] {
+            '\\' => {
+                code.push(' ');
+                *i += 1;
+                if *i < n {
+                    if chars[*i] == '\n' {
+                        code.push('\n');
+                        *line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    *i += 1;
+                }
+            }
+            '"' => {
+                code.push('"');
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                code.push('\n');
+                *line += 1;
+                *i += 1;
+            }
+            _ => {
+                code.push(' ');
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Tries to consume `r"..."` / `r#"..."#` (arbitrary hash count)
+/// starting at `chars[*i] == 'r'`. Returns false — consuming nothing —
+/// if what follows is not actually a raw string (e.g. a raw
+/// identifier like `r#fn`).
+fn consume_raw_string(chars: &[char], i: &mut usize, code: &mut String, line: &mut usize) -> bool {
+    let n = chars.len();
+    let mut j = *i + 1;
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || chars[j] != '"' {
+        return false;
+    }
+    code.push('r');
+    for _ in 0..hashes {
+        code.push('#');
+    }
+    code.push('"');
+    *i = j + 1;
+    while *i < n {
+        if chars[*i] == '\n' {
+            code.push('\n');
+            *line += 1;
+            *i += 1;
+        } else if chars[*i] == '"'
+            && chars[*i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            code.push('"');
+            for _ in 0..hashes {
+                code.push('#');
+            }
+            *i += 1 + hashes;
+            return true;
+        } else {
+            code.push(' ');
+            *i += 1;
+        }
+    }
+    true // unterminated raw string: blanked to EOF
+}
+
+/// Consumes a char literal (`'a'`, `'\n'`) or passes a lifetime
+/// (`'static`) through as code, starting at `chars[*i] == '\''`.
+fn consume_char_or_lifetime(chars: &[char], i: &mut usize, code: &mut String) {
+    let n = chars.len();
+    let next = chars.get(*i + 1).copied();
+    if next == Some('\\') {
+        // Escaped char literal: blank until the closing quote.
+        code.push('\'');
+        *i += 1;
+        while *i < n && chars[*i] != '\'' {
+            // A newline here means malformed source; bail so line
+            // accounting stays intact.
+            if chars[*i] == '\n' {
+                return;
+            }
+            if chars[*i] == '\\' && *i + 1 < n && chars[*i + 1] != '\n' {
+                code.push_str("  ");
+                *i += 2;
+            } else {
+                code.push(' ');
+                *i += 1;
+            }
+        }
+        if *i < n {
+            code.push('\'');
+            *i += 1;
+        }
+    } else if next.is_some()
+        && chars.get(*i + 2).copied() == Some('\'')
+        && next != Some('\'')
+        && next != Some('\n')
+    {
+        // 'x' — any single char followed by a closing quote.
+        code.push('\'');
+        code.push(' ');
+        code.push('\'');
+        *i += 3;
+    } else {
+        // A lifetime ('a, 'static) or stray quote: leave as code.
+        code.push('\'');
+        *i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        scan(src).code
+    }
+
+    #[test]
+    fn line_comment_is_blanked_and_captured() {
+        let s = scan("let x = 1; // trailing note\n");
+        assert!(!s.code.contains("trailing"));
+        assert!(s.code.contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].text.trim(), "trailing note");
+    }
+
+    #[test]
+    fn slashes_inside_string_do_not_start_a_comment() {
+        // The regression the old lint had: everything after "//" was
+        // dropped, hiding the call that follows the literal.
+        let s = scan("let url = \"http://x\"; evil_call();\n");
+        assert!(s.code.contains("evil_call();"));
+        assert!(s.comments.is_empty());
+    }
+
+    #[test]
+    fn string_bodies_are_blanked() {
+        let code = code_of("let s = \"Instant::now\";\n");
+        assert!(!code.contains("Instant"));
+        assert!(code.contains("let s = \""));
+    }
+
+    #[test]
+    fn nested_block_comments_and_multiline_attribution() {
+        let s = scan("a /* one /* two */ still */ b\n/* l1\nl2 */ c\n");
+        assert!(s.code.contains('a'));
+        assert!(s.code.contains('b'));
+        assert!(s.code.contains('c'));
+        assert!(!s.code.contains("still"));
+        let lines: Vec<usize> = s.comments.iter().map(|c| c.line).collect();
+        assert!(lines.contains(&1) && lines.contains(&2) && lines.contains(&3));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_bodies() {
+        let code = code_of("let r = r#\"a \"quote\" // not a comment\"#; tail();\n");
+        assert!(!code.contains("not a comment"));
+        assert!(code.contains("tail();"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let code = code_of("let r#fn = 1; after();\n");
+        assert!(code.contains("r#fn"));
+        assert!(code.contains("after();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let code = code_of("let c = '\"'; let d: &'static str = x; let e = 'y';\n");
+        // The quote character inside the char literal must not open a string.
+        assert!(code.contains("let d: &'static str = x;"));
+        assert!(!code.contains("'y'") || code.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let code = code_of("let s = \"a\\\"b\"; after();\n");
+        assert!(code.contains("after();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let code = code_of("let a = b\"unsafe\"; let b2 = br#\"unsafe\"#; end();\n");
+        assert!(!code.contains("unsafe"));
+        assert!(code.contains("end();"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let s = scan("let s = \"l1\nl2\";\n// after\n");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 3);
+        assert_eq!(s.code.lines().count(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! The lint engine must pass its own lints: `crates/lint` is scanned
+//! with the same builtin registry it ships (fixtures/ is excluded by
+//! the walker — those files are seeded violations by design).
+
+use std::path::Path;
+
+use tuna_lint::Engine;
+
+#[test]
+fn lint_crate_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = Engine::builtin()
+        .check_tree(root)
+        .expect("scan crates/lint");
+    assert!(
+        report.files_scanned >= 6,
+        "walker missed files: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "tuna-lint fails its own lints:\n  {}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}

@@ -1,7 +1,7 @@
 //! Observation history shared by the optimizers.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tuna_space::{Config, ConfigId, ConfigSpace};
 
@@ -54,15 +54,15 @@ pub struct ConfigRecord {
 
 /// Append-only store of observations with per-config rollups.
 ///
-/// Rollups live in an insertion-ordered `Vec` (with a `HashMap` used only
-/// as an index), so surrogate training data and tie-breaking are
-/// deterministic — iterating a `HashMap` directly would randomize model
-/// fits between identical runs.
+/// Rollups live in an insertion-ordered `Vec` (with a `BTreeMap` used
+/// only as an index), so surrogate training data and tie-breaking are
+/// deterministic — iterating an unordered hash map directly would
+/// randomize model fits between identical runs.
 #[derive(Debug, Clone, Default)]
 pub struct History {
     observations: Vec<Observation>,
     record_order: Vec<ConfigRecord>,
-    index: HashMap<ConfigId, usize>,
+    index: BTreeMap<ConfigId, usize>,
 }
 
 impl History {

@@ -11,7 +11,7 @@
 //! its current rung. With a single-rung ladder it degenerates to the
 //! traditional single-fidelity loop, which is exactly the paper's baseline.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::history::History;
 use crate::{Objective, Solver, Suggestion};
@@ -79,7 +79,7 @@ struct Rung {
     /// Completed (config, cost) results at this rung.
     results: Vec<(ConfigId, f64)>,
     /// Configs already suggested for the *next* rung.
-    promoted: HashSet<ConfigId>,
+    promoted: BTreeSet<ConfigId>,
 }
 
 /// Any-proposer optimizer with an asynchronous Successive-Halving ladder.
@@ -91,7 +91,7 @@ pub struct MultiFidelityOptimizer<P: Proposer> {
     proposer: P,
     history: History,
     rungs: Vec<Rung>,
-    configs: HashMap<ConfigId, Config>,
+    configs: BTreeMap<ConfigId, Config>,
 }
 
 impl<P: Proposer> MultiFidelityOptimizer<P> {
@@ -115,7 +115,7 @@ impl<P: Proposer> MultiFidelityOptimizer<P> {
             proposer,
             history: History::new(),
             rungs,
-            configs: HashMap::new(),
+            configs: BTreeMap::new(),
         }
     }
 
@@ -269,7 +269,7 @@ mod tests {
     fn promotions_follow_the_ladder() {
         let mut opt = mf(LadderParams::paper_default());
         let suggestions = drive(&mut opt, 120);
-        let budgets: HashSet<usize> = suggestions.iter().map(|s| s.budget).collect();
+        let budgets: BTreeSet<usize> = suggestions.iter().map(|s| s.budget).collect();
         assert!(budgets.contains(&1));
         assert!(budgets.contains(&3), "no promotions to rung 3");
         assert!(budgets.contains(&10), "no promotions to max budget");
@@ -346,7 +346,7 @@ mod tests {
     fn nan_tells_are_quarantined_not_promoted() {
         let mut opt = mf(LadderParams::paper_default());
         let mut rng = Rng::seed_from(17);
-        let mut nan_ids = HashSet::new();
+        let mut nan_ids = BTreeSet::new();
         for i in 0..120 {
             let s = opt.ask(&mut rng);
             if s.budget == 1 && i % 3 == 0 {

@@ -294,6 +294,14 @@ fn wait_ready(listener: &TcpListener, streams: &BTreeMap<usize, TcpStream>, engi
     // A failed poll degrades to the timeout path: the loop's reads are
     // non-blocking either way, so readiness is an optimization, never a
     // correctness requirement.
+    //
+    // SAFETY: `fds` outlives the call and `fds.len()` is its exact
+    // element count, so the kernel reads/writes only within the
+    // allocation; `PollFd` is `#[repr(C)]` field-for-field identical to
+    // `struct pollfd`, and every fd comes from a live `TcpListener`/
+    // `TcpStream` borrowed for the duration of the call. poll(2) has no
+    // other preconditions, and its only side effect is filling
+    // `revents`.
     unsafe {
         poll(fds.as_mut_ptr(), fds.len() as u64, POLL_TIMEOUT_MS);
     }

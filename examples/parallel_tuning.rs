@@ -34,11 +34,14 @@ fn main() {
     println!("tuning PostgreSQL / TPC-C serially and with {workers} worker lanes...");
     let mut exp = Experiment::quick_demo();
     exp.exec = ExecutionMode::Serial;
+    // lint:allow(wall-clock): demonstrating the serial-vs-parallel
+    // speedup is this example's point; results are asserted identical.
     let t0 = Instant::now();
     let serial = exp.run(Method::Tuna, 42);
     let serial_wall = t0.elapsed();
 
     exp.exec = ExecutionMode::Parallel { workers };
+    // lint:allow(wall-clock): same — wall time is displayed, not used.
     let t1 = Instant::now();
     let parallel = exp.run(Method::Tuna, 42);
     let parallel_wall = t1.elapsed();

@@ -1119,6 +1119,94 @@ pub fn suite(quick: bool) -> Vec<ScenarioSpec> {
         });
     }
 
+    // -- observability overhead ---------------------------------------------
+    // The observer-effect gate: the same deterministic serve workload
+    // (keep-alive submits + status polls through the sim engine) runs
+    // with instrumentation off (control) and on, interleaved best-of-3.
+    // The run *panics* if any response byte differs between the two, or
+    // if the instrumented pass costs more than 3% over the control
+    // (with a small absolute floor so a micro-fast control cannot fail
+    // the gate on scheduler jitter alone). The checksum pins the
+    // response bytes, so telemetry drift that touches the wire also
+    // fails as checksum drift.
+    {
+        const CONNS: usize = 500;
+        v.push(ScenarioSpec {
+            name: "obs/overhead",
+            items: CONNS as u64,
+            run: Box::new(move |c| {
+                use tuna_serve::engine::EngineConfig;
+                use tuna_serve::http;
+                use tuna_serve::sim::SimServer;
+
+                let pass = |instrument: bool| -> (Vec<u8>, u64) {
+                    let cfg = EngineConfig {
+                        instrument,
+                        ..EngineConfig::sim_default()
+                    };
+                    let start = Instant::now();
+                    let mut sim =
+                        SimServer::with_engine_config(None, 1, cfg).expect("in-memory sim");
+                    let conns: Vec<usize> = (0..CONNS).map(|_| sim.connect()).collect();
+                    for round in 0..2 {
+                        for (id, &conn) in conns.iter().enumerate() {
+                            let raw = if round == 0 {
+                                let body = format!(
+                                    "{{\"name\": \"obs-{id}\", \"seed\": {id}, \
+                                     \"runs\": 1, \"rounds\": 2, \"workloads\": [\"tpcc\"], \
+                                     \"arms\": [{{\"label\": \"Default\", \
+                                     \"method\": \"default\"}}]}}"
+                                );
+                                http::request_bytes_with("POST", "/v1/studies", &body, true)
+                            } else {
+                                http::request_bytes_with(
+                                    "GET",
+                                    &format!("/v1/studies/obs-{id}"),
+                                    "",
+                                    true,
+                                )
+                            };
+                            sim.feed(conn, &raw);
+                        }
+                        sim.tick();
+                        sim.dispatch();
+                    }
+                    let mut out = Vec::new();
+                    for &conn in &conns {
+                        out.extend(sim.recv(conn));
+                    }
+                    let wall = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (out, wall)
+                };
+
+                // Interleave control/instrumented so both see the same
+                // cache and frequency state; keep the best of each.
+                let mut wire: Option<Vec<u8>> = None;
+                let (mut control_ns, mut instrumented_ns) = (u64::MAX, u64::MAX);
+                for _ in 0..3 {
+                    let (control_out, t_off) = pass(false);
+                    let (instrumented_out, t_on) = pass(true);
+                    assert_eq!(
+                        control_out, instrumented_out,
+                        "instrumentation changed a response byte"
+                    );
+                    match &wire {
+                        Some(w) => assert_eq!(w, &control_out, "pass-to-pass drift"),
+                        None => wire = Some(control_out),
+                    }
+                    control_ns = control_ns.min(t_off);
+                    instrumented_ns = instrumented_ns.min(t_on);
+                }
+                let limit = (control_ns + control_ns * 3 / 100).max(control_ns + 2_000_000);
+                assert!(
+                    instrumented_ns <= limit,
+                    "instrumentation overhead above 3%: {instrumented_ns}ns vs {control_ns}ns control"
+                );
+                c.push_bytes(&wire.expect("three passes ran"));
+            }),
+        });
+    }
+
     v
 }
 

@@ -757,6 +757,7 @@ pub struct ResultStore {
     records: BTreeMap<usize, CellRecord>,
     campaign_digest: String,
     header: String,
+    repaired: bool,
 }
 
 impl ResultStore {
@@ -767,7 +768,14 @@ impl ResultStore {
             records: BTreeMap::new(),
             campaign_digest: campaign.digest(),
             header: Self::header_line(campaign),
+            repaired: false,
         }
+    }
+
+    /// Whether [`ResultStore::open`] dropped (and rewrote away) a torn
+    /// tail. Observability only — the repair itself is already done.
+    pub fn repaired(&self) -> bool {
+        self.repaired
     }
 
     fn header_line(campaign: &Campaign) -> String {
@@ -806,12 +814,20 @@ impl ResultStore {
             records: BTreeMap::new(),
             campaign_digest: campaign.digest(),
             header: Self::header_line(campaign),
+            repaired: false,
         };
         if path.exists() {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             if store.load(&text, campaign)? {
                 store.rewrite_journal(campaign)?;
+                store.repaired = true;
+                tuna_obs::global()
+                    .counter(
+                        "tuna_store_repairs_total",
+                        "torn result-journal tails dropped and rewritten on open",
+                    )
+                    .inc();
             }
         } else if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -1401,6 +1417,45 @@ pub fn execute_cell(
             let rows = vec![CellRow::of_summary(&arm.label, seed, &summary)];
             (CellRecord::new(cell, rows), CellPayload::Run(summary))
         }
+    }
+}
+
+/// Extracts the convergence trace of a freshly executed cell: one
+/// best-cost-so-far series per tuner that ran (two for convergence
+/// pairs, none for non-tuning arms such as a static default config).
+/// This is what the serve layer appends to a study's trace sidecar —
+/// the payload only exists in memory at completion time.
+///
+/// # Panics
+///
+/// Panics if `cell` is out of range for `campaign`.
+pub fn cell_trace(campaign: &Campaign, cell: usize, payload: &CellPayload) -> tuna_obs::CellTrace {
+    fn series_of(label: &str, t: &TuningResult) -> tuna_obs::ArmTrace {
+        tuna_obs::ArmTrace {
+            label: label.to_string(),
+            series: t
+                .trace
+                .iter()
+                .filter_map(|ir| ir.best_so_far.map(|b| (ir.round as u64, b)))
+                .collect(),
+        }
+    }
+    let (w, a, run) = campaign.coords(cell);
+    let arms = match payload {
+        CellPayload::Run(summary) => match &summary.tuning {
+            Some(t) => vec![series_of(summary.method, t)],
+            None => Vec::new(),
+        },
+        CellPayload::Pair { tuna, naive } => {
+            vec![series_of("TUNA", tuna), series_of("naive", naive)]
+        }
+    };
+    tuna_obs::CellTrace {
+        cell: cell as u64,
+        workload: campaign.workloads[w].name.to_string(),
+        arm: campaign.arms[a].label.clone(),
+        run: run as u64,
+        arms,
     }
 }
 

@@ -28,7 +28,7 @@
 //! wall-clock is recorded in [`BatchStats`] so speedup is measurable.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use tuna_cloudsim::machine::Machine;
@@ -159,6 +159,42 @@ impl ExecStats {
     }
 }
 
+/// Cached handles into the process-global metrics registry so the per
+/// batch cost of instrumentation is a handful of relaxed atomic ops —
+/// no lock, no name lookup. Observability only: nothing here feeds
+/// back into execution.
+struct ExecMetrics {
+    batches: tuna_obs::Counter,
+    runs: tuna_obs::Counter,
+    steals: tuna_obs::Counter,
+    occupancy: tuna_obs::Gauge,
+    lanes: tuna_obs::Histogram,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = tuna_obs::global();
+        ExecMetrics {
+            batches: reg.counter("tuna_executor_batches_total", "trial batches executed"),
+            runs: reg.counter("tuna_executor_runs_total", "trial runs executed"),
+            steals: reg.counter(
+                "tuna_executor_steals_total",
+                "lanes claimed by secondary pool workers (work stolen off the first thread)",
+            ),
+            occupancy: reg.gauge(
+                "tuna_executor_lane_occupancy_pct",
+                "last batch's pool occupancy: lane-busy time over workers x wall time",
+            ),
+            lanes: reg.histogram(
+                "tuna_executor_lanes_per_batch",
+                "machine lanes per executed batch",
+                &[1, 2, 4, 8, 16, 32, 64],
+            ),
+        }
+    })
+}
+
 /// A lane: one machine plus the (plan-ordered) request indices it runs.
 struct Lane<'a> {
     machine_idx: usize,
@@ -206,8 +242,8 @@ pub fn execute_batch(
 
     let workers = mode.workers().min(machine_order.len());
     let batch_start = Instant::now();
-    let (mut outcomes, lanes) = if workers <= 1 {
-        execute_lanes_serial(
+    let (mut outcomes, lanes, steals) = if workers <= 1 {
+        let (outcomes, lanes) = execute_lanes_serial(
             sut,
             workload,
             cluster,
@@ -215,7 +251,8 @@ pub fn execute_batch(
             requests,
             &machine_order,
             &lane_requests,
-        )
+        );
+        (outcomes, lanes, 0)
     } else {
         execute_lanes_parallel(
             sut,
@@ -232,6 +269,17 @@ pub fn execute_batch(
         wall_nanos: batch_start.elapsed().as_nanos(),
         lanes,
     };
+
+    let metrics = exec_metrics();
+    metrics.batches.inc();
+    metrics.runs.add(requests.len() as u64);
+    metrics.steals.add(steals);
+    metrics.lanes.observe(stats.lanes.len() as u64);
+    if stats.wall_nanos > 0 {
+        let pool_nanos = stats.wall_nanos.saturating_mul(workers as u128);
+        let pct = stats.busy_nanos().saturating_mul(100) / pool_nanos.max(1);
+        metrics.occupancy.set(u64::try_from(pct).unwrap_or(100));
+    }
 
     let ordered: Vec<RunOutcome> = outcomes
         .iter_mut()
@@ -300,7 +348,7 @@ fn execute_lanes_parallel(
     machine_order: &[usize],
     lane_requests: Vec<Vec<usize>>,
     workers: usize,
-) -> (Vec<Option<RunOutcome>>, Vec<LaneStats>) {
+) -> (Vec<Option<RunOutcome>>, Vec<LaneStats>, u64) {
     let machines = cluster.lanes_mut(machine_order);
     let mut lanes: Vec<Lane<'_>> = machines
         .into_iter()
@@ -323,20 +371,22 @@ fn execute_lanes_parallel(
 
     // What one worker thread brings home: outcomes tagged with their
     // lane index, plus per-lane timing.
-    type WorkerHarvest = (Vec<(usize, RunOutcome)>, Vec<LaneStats>);
+    type WorkerHarvest = (Vec<(usize, RunOutcome)>, Vec<LaneStats>, u64);
     let mut per_worker: Vec<WorkerHarvest> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|wi| {
                 let slots = &slots;
                 let cursor = &cursor;
                 scope.spawn(move || {
                     let mut produced: Vec<(usize, RunOutcome)> = Vec::new();
                     let mut lane_stats: Vec<LaneStats> = Vec::new();
+                    let mut claimed: u64 = 0;
                     loop {
                         let l = cursor.fetch_add(1, Ordering::Relaxed);
                         if l >= n_lanes {
                             break;
                         }
+                        claimed += 1;
                         let lane = slots[l]
                             .lock()
                             .expect("lane mutex poisoned")
@@ -354,7 +404,10 @@ fn execute_lanes_parallel(
                             nanos: start.elapsed().as_nanos(),
                         });
                     }
-                    (produced, lane_stats)
+                    // A lane run by any thread but the first would have
+                    // serialized behind it in a single-threaded pool —
+                    // that is the "stolen" work the steal counter sees.
+                    (produced, lane_stats, if wi == 0 { 0 } else { claimed })
                 })
             })
             .collect();
@@ -366,15 +419,17 @@ fn execute_lanes_parallel(
 
     let mut outcomes: Vec<Option<RunOutcome>> = requests.iter().map(|_| None).collect();
     let mut lane_stats: Vec<LaneStats> = Vec::with_capacity(n_lanes);
-    for (produced, stats) in &mut per_worker {
+    let mut steals: u64 = 0;
+    for (produced, stats, stolen) in &mut per_worker {
         for (i, outcome) in produced.drain(..) {
             outcomes[i] = Some(outcome);
         }
         lane_stats.append(stats);
+        steals += *stolen;
     }
     // Deterministic reporting order regardless of which worker ran what.
     lane_stats.sort_by_key(|l| l.machine);
-    (outcomes, lane_stats)
+    (outcomes, lane_stats, steals)
 }
 
 #[cfg(test)]

@@ -351,6 +351,19 @@ impl<'a> TunaPipeline<'a> {
         self.samples.insert(id, samples);
 
         self.round += 1;
+        // Observability side channel: fleet-wide round/unstable totals.
+        // Counters never feed back into tuning.
+        tuna_obs::global()
+            .counter("tuna_pipeline_rounds_total", "tuning rounds executed")
+            .inc();
+        if unstable {
+            tuna_obs::global()
+                .counter(
+                    "tuna_pipeline_unstable_total",
+                    "rounds whose config was classified unstable",
+                )
+                .inc();
+        }
         let best_so_far = self.optimizer.best().map(|(_, v)| v);
         self.trace.push(IterationRecord {
             round: self.round,

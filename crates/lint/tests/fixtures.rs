@@ -48,6 +48,36 @@ fn wall_clock_positive_negative() {
 }
 
 #[test]
+fn obs_two_clock_rule() {
+    // Inside crates/obs, wall-clock reads are only legal in wall.rs —
+    // the Clock seam's sole implementation file on the allowlist. The
+    // same text trips `wall-clock` at any other obs path...
+    let bad = include_str!("../fixtures/obs_clock_bad.rs");
+    assert_eq!(
+        rules_hit("crates/obs/src/journal.rs", bad),
+        vec!["wall-clock".to_string()],
+        "wall-clock must fire inside crates/obs outside wall.rs"
+    );
+    // ...and is allowlisted, by exact suffix, only at wall.rs.
+    assert!(
+        rules_hit("crates/obs/src/wall.rs", bad).is_empty(),
+        "crates/obs/src/wall.rs is the one legal wall-clock site in obs"
+    );
+    assert_eq!(
+        rules_hit("crates/obs/src/not_wall.rs", bad),
+        vec!["wall-clock".to_string()],
+        "the allowlist is a path suffix match on wall.rs, not a pattern"
+    );
+    // The seamed twin is clean everywhere.
+    assert!(rules_hit(
+        "crates/obs/src/journal.rs",
+        include_str!("../fixtures/obs_clock_clean.rs")
+    )
+    .is_empty());
+    assert_clean(include_str!("../fixtures/obs_clock_clean.rs"));
+}
+
+#[test]
 fn ambient_randomness_positive_negative() {
     assert_catches(
         "ambient-randomness",

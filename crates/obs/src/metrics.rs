@@ -1,0 +1,444 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms, rendered in Prometheus text exposition format.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones
+//! over shared atomics: registration takes a lock once, but the hot
+//! path — `inc`/`set`/`observe` — is a relaxed atomic op, so
+//! instrumented code never contends with the scraper. Values are
+//! `u64` (ticks, nanoseconds, depths, counts); observability never
+//! handles result floats, which keeps it trivially outside the
+//! determinism contract.
+//!
+//! Histogram p50/p99 are derived from the bucket counts at render
+//! time; the interpolation between the two straddling bucket
+//! representatives delegates to `tuna_stats::summary::quantile_of_sorted`
+//! so the rank convention matches every other quantile in the
+//! workspace.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tuna_stats::json::fmt_f64;
+use tuna_stats::summary::quantile_of_sorted;
+
+/// A monotone counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere) — useful in tests.
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere) — useful in tests.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Store an absolute value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise to at least `v` (high-water marks).
+    pub fn set_at_least(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// `bounds` are inclusive upper bucket edges; one implicit overflow
+/// bucket catches everything above the last edge. Quantiles are
+/// bucket-resolution approximations: a quantile that lands in the
+/// overflow bucket saturates at the last finite edge.
+#[derive(Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    /// A detached histogram with the given inclusive upper edges
+    /// (must be non-empty and strictly increasing).
+    pub fn detached(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: Arc::new(bounds.to_vec()),
+            buckets: Arc::new(buckets),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The configured inclusive upper edges.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Bucket-resolution quantile (`q` in `[0, 1]`); `None` when empty.
+    ///
+    /// Rank position follows the workspace convention
+    /// (`pos = q * (n - 1)`, linear interpolation between the two
+    /// straddling order statistics — delegated to
+    /// `tuna_stats::summary::quantile_of_sorted` on the two bucket
+    /// representatives).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let pos = q * (total - 1) as f64;
+        let lo = pos.floor() as u64;
+        let hi = pos.ceil() as u64;
+        let lo_val = self.value_at_rank(&counts, lo);
+        let hi_val = self.value_at_rank(&counts, hi);
+        Some(quantile_of_sorted(&[lo_val, hi_val], pos - lo as f64))
+    }
+
+    /// The representative value (bucket upper edge, saturating at the
+    /// last finite edge for the overflow bucket) of the observation at
+    /// sorted rank `r`.
+    fn value_at_rank(&self, counts: &[u64], r: u64) -> f64 {
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum > r {
+                let edge = i.min(self.bounds.len() - 1);
+                return self.bounds[edge] as f64;
+            }
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics, rendered in Prometheus text format.
+///
+/// Names may carry a label set in braces (`tuna_shed_total{code="429"}`);
+/// entries sharing the family name (the part before `{`) are grouped
+/// under one `# HELP`/`# TYPE` header. Histogram names must be
+/// label-free (their rendering owns the `le` label).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut entries = self.entries.lock().expect("metrics lock");
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Counter::detached()),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut entries = self.entries.lock().expect("metrics lock");
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Gauge::detached()),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name` with the given inclusive
+    /// upper bucket edges. Re-registration ignores `bounds` and
+    /// returns the existing histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` carries labels or is registered as a
+    /// different kind.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        assert!(
+            !name.contains('{'),
+            "histogram `{name}` must be label-free (rendering owns `le`)"
+        );
+        let mut entries = self.entries.lock().expect("metrics lock");
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Histogram::detached(bounds)),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Render in Prometheus text exposition format (sorted by name).
+    pub fn render(&self) -> String {
+        MetricsRegistry::render_many(&[self])
+    }
+
+    /// Render several registries as one exposition document. Names are
+    /// merged sorted; on a duplicate name the earliest registry wins.
+    pub fn render_many(regs: &[&MetricsRegistry]) -> String {
+        let mut out = String::new();
+        let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+        let guards: Vec<_> = regs
+            .iter()
+            .map(|r| r.entries.lock().expect("metrics lock"))
+            .collect();
+        let mut names: Vec<(&str, usize)> = Vec::new();
+        for (ri, guard) in guards.iter().enumerate() {
+            for name in guard.keys() {
+                if seen.insert(name.clone(), ()).is_none() {
+                    names.push((name, ri));
+                }
+            }
+        }
+        names.sort();
+        let mut last_family = String::new();
+        for (name, ri) in names {
+            let entry = &guards[ri][name];
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last_family {
+                out.push_str(&format!("# HELP {family} {}\n", entry.help));
+                out.push_str(&format!("# TYPE {family} {}\n", entry.metric.kind()));
+                last_family = family.to_string();
+            }
+            match &entry.metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => render_histogram(&mut out, name, h),
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cum += c;
+        let le = match h.bounds().get(i) {
+            Some(b) => b.to_string(),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {cum}\n"));
+    for (q, suffix) in [(0.5, "p50"), (0.99, "p99")] {
+        if let Some(v) = h.quantile(q) {
+            out.push_str(&format!(
+                "# HELP {name}_{suffix} bucket-interpolated quantile of {name}\n\
+                 # TYPE {name}_{suffix} gauge\n\
+                 {name}_{suffix} {}\n",
+                fmt_f64(v)
+            ));
+        }
+    }
+}
+
+/// The process-global registry: instrumentation points that have no
+/// natural owner (the executor, the tuning pipeline, store repair)
+/// register here; `GET /metrics` merges it with the manager's own
+/// registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("tuna_test_total", "a test counter");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Re-registration returns the same underlying atomic.
+        assert_eq!(reg.counter("tuna_test_total", "ignored").get(), 3);
+        let g = reg.gauge("tuna_test_depth", "a test gauge");
+        g.set(7);
+        g.set_at_least(5);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tuna_x", "");
+        reg.gauge("tuna_x", "");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::detached(&[1, 2, 4, 8]);
+        for v in [0, 1, 1, 2, 3, 5, 9, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 121);
+        // buckets: le=1 -> {0,1,1}, le=2 -> {2}, le=4 -> {3}, le=8 -> {5},
+        // +Inf -> {9,100}
+        assert_eq!(h.bucket_counts(), vec![3, 1, 1, 1, 2]);
+        // p50: pos = 3.5 between ranks 3 (le=2) and 4 (le=4) -> 3.0
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        // p99 lands in the overflow bucket -> saturates at the last edge.
+        assert_eq!(h.quantile(0.99), Some(8.0));
+        assert_eq!(Histogram::detached(&[1]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tuna_shed_total{code=\"429\"}", "sheds by class")
+            .add(4);
+        reg.counter("tuna_shed_total{code=\"503\"}", "sheds by class")
+            .inc();
+        reg.gauge("tuna_depth", "queue depth").set(2);
+        let h = reg.histogram("tuna_latency_ticks", "dispatch latency", &[1, 4]);
+        h.observe(1);
+        h.observe(3);
+        let text = reg.render();
+        // One header per family, label'd series grouped beneath it.
+        assert_eq!(text.matches("# TYPE tuna_shed_total counter").count(), 1);
+        assert!(text.contains("tuna_shed_total{code=\"429\"} 4\n"));
+        assert!(text.contains("tuna_shed_total{code=\"503\"} 1\n"));
+        assert!(text.contains("# TYPE tuna_depth gauge\ntuna_depth 2\n"));
+        assert!(text.contains("tuna_latency_ticks_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("tuna_latency_ticks_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("tuna_latency_ticks_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("tuna_latency_ticks_sum 4\n"));
+        assert!(text.contains("tuna_latency_ticks_count 2\n"));
+        assert!(text.contains("tuna_latency_ticks_p50"));
+        assert!(text.contains("tuna_latency_ticks_p99"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+    }
+
+    #[test]
+    fn render_many_merges_first_wins() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("tuna_a", "from a").inc();
+        b.counter("tuna_b", "from b").add(2);
+        b.counter("tuna_a", "shadowed").add(99);
+        let text = MetricsRegistry::render_many(&[&a, &b]);
+        assert!(text.contains("tuna_a 1\n"));
+        assert!(text.contains("tuna_b 2\n"));
+        assert!(!text.contains("99"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("tuna_obs_test_global_total", "test only");
+        let before = c.get();
+        global()
+            .counter("tuna_obs_test_global_total", "test only")
+            .inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! The per-study convergence trace: best-cost-so-far series per arm,
+//! per cell — the answer to "is this study converging, and how fast?".
+//!
+//! # Why a sidecar journal, not the row store
+//!
+//! The row store persists per-configuration *measurements*; the
+//! convergence series lives in the tuning pipeline's iteration trace,
+//! which is only materialized while a cell executes. To serve
+//! `GET /v1/studies/<name>/trace` after a restart without re-running
+//! anything, the manager appends one line per completed cell to a
+//! `<study>.trace` sidecar **before** recording the cell in the row
+//! store. A crash between the two re-executes the cell (cells are pure
+//! functions of the declaration), and the dedup-by-cell load drops the
+//! duplicate — so the assembled document is byte-identical across
+//! kill/restart and across `TUNA_WORKERS`, even though the sidecar's
+//! own line *order* may differ.
+//!
+//! # Sidecar format
+//!
+//! One JSON object per `\n`-terminated line (the same torn-tail
+//! discipline as the result journal): an unterminated or malformed
+//! tail is dropped on load and the file rewritten. All JSON goes
+//! through `tuna_stats::json`, the workspace's single JSON surface.
+
+use tuna_stats::json::{self, fmt_f64, quote, Value};
+
+/// One arm's convergence series inside a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmTrace {
+    /// Arm label, e.g. `TUNA` or `naive`.
+    pub label: String,
+    /// `(round, best_cost_so_far)` per tuning round that reported a
+    /// best value.
+    pub series: Vec<(u64, f64)>,
+}
+
+/// The convergence trace of one completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTrace {
+    /// Cell index within the campaign.
+    pub cell: u64,
+    /// Workload label at these coordinates.
+    pub workload: String,
+    /// Arm label at these coordinates.
+    pub arm: String,
+    /// Run (seed repeat) index at these coordinates.
+    pub run: u64,
+    /// One entry per tuner that ran in the cell (two for paired
+    /// TUNA-vs-naive cells, one otherwise; empty when the arm does not
+    /// tune, e.g. a static default-configuration arm).
+    pub arms: Vec<ArmTrace>,
+}
+
+/// The assembled per-study document served by the trace endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyTrace {
+    /// Study name.
+    pub study: String,
+    /// The campaign digest (pins the declaration the trace belongs to).
+    pub digest: String,
+    /// Total cells in the campaign (traced or not).
+    pub n_cells: u64,
+    /// Traced cells, sorted by cell index.
+    pub cells: Vec<CellTrace>,
+}
+
+impl ArmTrace {
+    fn render(&self) -> String {
+        let points: Vec<String> = self
+            .series
+            .iter()
+            .map(|(r, v)| format!("[{r},{}]", fmt_f64(*v)))
+            .collect();
+        format!(
+            "{{\"label\":{},\"series\":[{}]}}",
+            quote(&self.label),
+            points.join(",")
+        )
+    }
+
+    fn parse(v: &Value) -> Result<ArmTrace, String> {
+        let label = v
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or("arm missing 'label'")?
+            .to_string();
+        let mut series = Vec::new();
+        for point in v
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or("arm missing 'series'")?
+        {
+            let pair = point.as_arr().ok_or("series point is not a pair")?;
+            if pair.len() != 2 {
+                return Err("series point is not a pair".into());
+            }
+            let round = pair[0].as_f64().ok_or("series round is not a number")? as u64;
+            // A quarantined non-finite best renders as null; keep the
+            // round with a NaN marker so the series length survives.
+            let best = pair[1].as_f64().unwrap_or(f64::NAN);
+            series.push((round, best));
+        }
+        Ok(ArmTrace { label, series })
+    }
+}
+
+impl CellTrace {
+    /// Render as one canonical sidecar line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        let arms: Vec<String> = self.arms.iter().map(ArmTrace::render).collect();
+        format!(
+            "{{\"cell\":{},\"workload\":{},\"arm\":{},\"run\":{},\"arms\":[{}]}}",
+            self.cell,
+            quote(&self.workload),
+            quote(&self.arm),
+            self.run,
+            arms.join(",")
+        )
+    }
+
+    /// Parse one sidecar line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing field — the
+    /// caller treats that as a torn tail, never a panic.
+    pub fn parse_line(line: &str) -> Result<CellTrace, String> {
+        let v = json::parse(line)?;
+        let cell = v
+            .get("cell")
+            .and_then(Value::as_f64)
+            .ok_or("line missing 'cell'")? as u64;
+        let workload = v
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("line missing 'workload'")?
+            .to_string();
+        let arm = v
+            .get("arm")
+            .and_then(Value::as_str)
+            .ok_or("line missing 'arm'")?
+            .to_string();
+        let run = v
+            .get("run")
+            .and_then(Value::as_f64)
+            .ok_or("line missing 'run'")? as u64;
+        let mut arms = Vec::new();
+        for a in v
+            .get("arms")
+            .and_then(Value::as_arr)
+            .ok_or("line missing 'arms'")?
+        {
+            arms.push(ArmTrace::parse(a)?);
+        }
+        Ok(CellTrace {
+            cell,
+            workload,
+            arm,
+            run,
+            arms,
+        })
+    }
+}
+
+/// Result of loading a sidecar: the surviving cells (deduped,
+/// first-wins, sorted by cell) and whether the file needs rewriting
+/// (torn tail, malformed line, or duplicate dropped).
+#[derive(Debug)]
+pub struct SidecarLoad {
+    /// Surviving cell traces, sorted by cell index.
+    pub cells: Vec<CellTrace>,
+    /// The on-disk bytes are not the canonical rendering of `cells`;
+    /// the owner should rewrite the file.
+    pub dirty: bool,
+}
+
+/// Load sidecar text with the journal's torn-tail discipline: an
+/// unterminated final line is dropped, a malformed line and everything
+/// after it is dropped, and duplicate cells (a crash between the
+/// sidecar append and the row-store record) keep the first occurrence.
+pub fn load_sidecar(text: &str) -> SidecarLoad {
+    let mut cells: Vec<CellTrace> = Vec::new();
+    let mut dirty = !text.is_empty() && !text.ends_with('\n');
+    let mut rest = text;
+    while let Some(nl) = rest.find('\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        if line.trim().is_empty() {
+            dirty = true;
+            continue;
+        }
+        match CellTrace::parse_line(line) {
+            Ok(cell) => {
+                if cells.iter().any(|c| c.cell == cell.cell) {
+                    dirty = true;
+                } else {
+                    cells.push(cell);
+                }
+            }
+            Err(_) => {
+                // Torn mid-file write: nothing after it is trustworthy.
+                dirty = true;
+                break;
+            }
+        }
+    }
+    cells.sort_by_key(|c| c.cell);
+    SidecarLoad { cells, dirty }
+}
+
+/// Canonical sidecar text for a set of cells (used for repair
+/// rewrites; cells should already be sorted).
+pub fn render_sidecar(cells: &[CellTrace]) -> String {
+    let mut out = String::new();
+    for c in cells {
+        out.push_str(&c.render_line());
+        out.push('\n');
+    }
+    out
+}
+
+impl StudyTrace {
+    /// Render the wire document served by
+    /// `GET /v1/studies/<name>/trace`. Cells are sorted by index and
+    /// no clock values appear, so the document is byte-identical
+    /// across worker counts and restarts.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(CellTrace::render_line).collect();
+        format!(
+            "{{\"study\":{},\"digest\":{},\"n_cells\":{},\"cells\":[{}]}}\n",
+            quote(&self.study),
+            quote(&self.digest),
+            self.n_cells,
+            cells.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(idx: u64) -> CellTrace {
+        CellTrace {
+            cell: idx,
+            workload: "tpcc".into(),
+            arm: "TUNA".into(),
+            run: idx % 2,
+            arms: vec![ArmTrace {
+                label: "TUNA".into(),
+                series: vec![(0, 2.5), (1, 1.25), (2, 1.25)],
+            }],
+        }
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let c = cell(3);
+        let line = c.render_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(CellTrace::parse_line(&line).unwrap(), c);
+    }
+
+    #[test]
+    fn nan_best_survives_as_null() {
+        let c = CellTrace {
+            arms: vec![ArmTrace {
+                label: "TUNA".into(),
+                series: vec![(0, f64::NAN)],
+            }],
+            ..cell(0)
+        };
+        let line = c.render_line();
+        assert!(line.contains("[0,null]"));
+        let parsed = CellTrace::parse_line(&line).unwrap();
+        assert!(parsed.arms[0].series[0].1.is_nan());
+    }
+
+    #[test]
+    fn sidecar_load_is_torn_tail_tolerant() {
+        let clean = render_sidecar(&[cell(0), cell(1)]);
+        let load = load_sidecar(&clean);
+        assert_eq!(load.cells.len(), 2);
+        assert!(!load.dirty);
+
+        // Unterminated tail: dropped, marked dirty.
+        let torn = format!("{clean}{}", &cell(2).render_line()[..10]);
+        let load = load_sidecar(&torn);
+        assert_eq!(load.cells.len(), 2);
+        assert!(load.dirty);
+
+        // Malformed mid-file line: it and everything after is dropped.
+        let garbled = format!("not json\n{clean}");
+        let load = load_sidecar(&garbled);
+        assert!(load.cells.is_empty());
+        assert!(load.dirty);
+    }
+
+    #[test]
+    fn sidecar_load_dedups_first_wins_and_sorts() {
+        let mut dup = cell(1);
+        dup.workload = "shadowed".into();
+        let text = render_sidecar(&[cell(1), cell(0), dup]);
+        let load = load_sidecar(&text);
+        assert_eq!(load.cells.len(), 2);
+        assert_eq!(load.cells[0].cell, 0);
+        assert_eq!(load.cells[1].cell, 1);
+        assert_eq!(load.cells[1].workload, "tpcc");
+        assert!(load.dirty, "duplicate drop must request a rewrite");
+    }
+
+    #[test]
+    fn study_document_is_canonical() {
+        let doc = StudyTrace {
+            study: "alpha".into(),
+            digest: "deadbeef".into(),
+            n_cells: 4,
+            cells: vec![cell(0), cell(1)],
+        };
+        let text = doc.to_json();
+        assert!(text.ends_with('\n'));
+        let v = json::parse(text.trim_end()).unwrap();
+        assert_eq!(v.get("study").and_then(Value::as_str), Some("alpha"));
+        assert_eq!(v.get("n_cells").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(v.get("cells").and_then(Value::as_arr).unwrap().len(), 2);
+    }
+}

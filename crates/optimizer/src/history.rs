@@ -73,6 +73,16 @@ impl History {
 
     /// Records an observation.
     pub fn push(&mut self, config: Config, cost: f64, budget: usize) {
+        if !cost.is_finite() {
+            // Observability side channel only: the quarantine itself is
+            // enforced by the finite-filtering consumers below.
+            tuna_obs::global()
+                .counter(
+                    "tuna_quarantined_nan_total",
+                    "non-finite costs quarantined before any model fit",
+                )
+                .inc();
+        }
         let id = config.id();
         self.observations.push(Observation {
             config: config.clone(),

@@ -8,6 +8,8 @@
 //! tuna-ctl [--addr ...] [--token T]            watch   NAME [--timeout-s 600]
 //! tuna-ctl [--addr ...] [--token T]            cancel  NAME
 //! tuna-ctl [--addr ...] [--token T]            tenants
+//! tuna-ctl [--addr ...] [--token T]            trace   NAME [--json]
+//! tuna-ctl [--addr ...]                        metrics [--raw]
 //! tuna-ctl                                     run-local --spec FILE
 //! ```
 //!
@@ -33,6 +35,17 @@
 //! `results` fetches from a daemon that ran the same study: that
 //! equality is the serve subsystem's determinism contract, and the CI
 //! smoke job diffs exactly these two outputs.
+//!
+//! `trace` renders the study's convergence document (best-cost-so-far
+//! per arm, per cell) as one sparkline per arm — `--json` prints the
+//! raw document instead. `metrics` fetches the Prometheus exposition
+//! and annotates each histogram with a per-bucket sparkline — `--raw`
+//! prints the exposition untouched.
+//!
+//! `watch` treats load sheds as transient: a `429` or `503` poll reply
+//! prints the daemon's structured reason to stderr, backs off
+//! (exponentially, capped), and keeps watching until the deadline —
+//! only auth, validation, and routing errors abort the watch.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -47,7 +60,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tuna-ctl [--addr HOST:PORT] [--token TOKEN] <submit --spec FILE | list | \
          status NAME | results NAME | watch NAME [--timeout-s S] | cancel NAME | tenants | \
-         run-local --spec FILE>"
+         trace NAME [--json] | metrics [--raw] | run-local --spec FILE>"
     );
     std::process::exit(2);
 }
@@ -91,6 +104,152 @@ fn describe_refusal(status: u16, body: &str) -> String {
 fn refuse(status: u16, body: &str) -> ! {
     eprintln!("tuna-ctl: {}", describe_refusal(status, body));
     std::process::exit(exit_code_for(status));
+}
+
+/// Whether a `watch` poll reply is a transient load shed worth retrying
+/// (admission/pipeline `429`, capacity `503`) rather than a hard error
+/// (auth, validation, unknown study) that should abort the watch.
+fn watch_should_retry(status: u16) -> bool {
+    matches!(status, 429 | 503)
+}
+
+/// Backoff before the next `watch` poll after `attempt` consecutive
+/// sheds: exponential from 500ms, capped at 5s. Attempt 0 (no shed)
+/// is the normal 250ms poll cadence.
+fn watch_backoff_ms(attempt: u32) -> u64 {
+    if attempt == 0 {
+        return 250;
+    }
+    (500u64 << (attempt - 1).min(4)).min(5_000)
+}
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders values as a unicode sparkline, scaled min→max. Non-finite
+/// values (quarantined NaN costs) render as `·`. Lower is better for
+/// costs, so a converging series reads `█▆▃▁▁`.
+fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                '·'
+            } else if max > min {
+                let t = (v - min) / (max - min);
+                SPARKS[((t * 7.0).round() as usize).min(7)]
+            } else {
+                SPARKS[0]
+            }
+        })
+        .collect()
+}
+
+/// Renders the trace document fetched from
+/// `GET /v1/studies/<name>/trace` for a terminal: one line per arm per
+/// cell, with the best-so-far series as a sparkline.
+fn render_trace(body: &str) -> Result<String, String> {
+    let v = json::parse(body).map_err(|e| format!("malformed trace document: {e}"))?;
+    let study = v.get("study").and_then(json::Value::as_str).unwrap_or("?");
+    let n_cells = v
+        .get("n_cells")
+        .and_then(json::Value::as_f64)
+        .unwrap_or(0.0) as u64;
+    let cells = v
+        .get("cells")
+        .and_then(json::Value::as_arr)
+        .ok_or("trace document lacks 'cells'")?;
+    let mut out = format!("study {study}: {}/{n_cells} cells traced\n", cells.len());
+    for cell in cells {
+        let idx = cell
+            .get("cell")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(-1.0) as i64;
+        let workload = cell
+            .get("workload")
+            .and_then(json::Value::as_str)
+            .unwrap_or("?");
+        let arm = cell.get("arm").and_then(json::Value::as_str).unwrap_or("?");
+        let run = cell.get("run").and_then(json::Value::as_f64).unwrap_or(0.0) as u64;
+        out.push_str(&format!("cell {idx} {workload}/{arm} run {run}\n"));
+        let arms = cell
+            .get("arms")
+            .and_then(json::Value::as_arr)
+            .ok_or("cell lacks 'arms'")?;
+        if arms.is_empty() {
+            out.push_str("  (arm does not tune)\n");
+        }
+        for a in arms {
+            let label = a.get("label").and_then(json::Value::as_str).unwrap_or("?");
+            let series: Vec<f64> = a
+                .get("series")
+                .and_then(json::Value::as_arr)
+                .map(|pts| {
+                    pts.iter()
+                        .filter_map(json::Value::as_arr)
+                        .filter_map(|p| p.get(1))
+                        .map(|v| v.as_f64().unwrap_or(f64::NAN))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let best = series
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            let best = if best.is_finite() {
+                format!("{best:.6}")
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                "  {label:<8} {:>3} rounds  best {best}  {}\n",
+                series.len(),
+                sparkline(&series)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Annotates a Prometheus exposition: after each histogram's `_count`
+/// line, inserts a comment carrying a per-bucket (non-cumulative)
+/// sparkline, so a terminal reader sees the shape without arithmetic.
+fn render_metrics(text: &str) -> String {
+    let mut out = String::new();
+    let mut family = String::new();
+    let mut cumulative: Vec<f64> = Vec::new();
+    for line in text.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            family = rest.split(' ').next().unwrap_or("").to_string();
+            cumulative.clear();
+            continue;
+        }
+        if line.starts_with('#') || family.is_empty() {
+            continue;
+        }
+        let bucket_prefix = format!("{family}_bucket{{");
+        if line.starts_with(&bucket_prefix) {
+            if let Some(v) = line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()) {
+                cumulative.push(v);
+            }
+        } else if line.starts_with(&format!("{family}_count")) && !cumulative.is_empty() {
+            // De-cumulate: per-bucket counts are what the eye wants.
+            let mut per_bucket = Vec::with_capacity(cumulative.len());
+            let mut prev = 0.0;
+            for c in &cumulative {
+                per_bucket.push(c - prev);
+                prev = *c;
+            }
+            out.push_str(&format!("# SPARK {family} {}\n", sparkline(&per_bucket)));
+            cumulative.clear();
+        }
+    }
+    out
 }
 
 fn fail(msg: &str) -> ! {
@@ -258,18 +417,61 @@ fn main() {
         "cancel" => {
             expect_ok(client.call("POST", &format!("/v1/studies/{}/cancel", name_arg()), ""))
         }
+        "trace" => {
+            let name = name_arg();
+            let (status, body) = client.call("GET", &format!("/v1/studies/{name}/trace"), "");
+            if !(200..300).contains(&status) {
+                refuse(status, &body);
+            }
+            if argv.iter().any(|a| a == "--json") {
+                print!("{body}");
+            } else {
+                match render_trace(&body) {
+                    Ok(rendered) => print!("{rendered}"),
+                    Err(e) => fail(&e),
+                }
+            }
+        }
+        "metrics" => {
+            let (status, body) = client.call("GET", "/metrics", "");
+            if !(200..300).contains(&status) {
+                refuse(status, &body);
+            }
+            if argv.iter().any(|a| a == "--raw") {
+                print!("{body}");
+            } else {
+                print!("{}", render_metrics(&body));
+            }
+        }
         "watch" => {
             let name = name_arg();
             let timeout_s: u64 = flag_value(&argv, "--timeout-s")
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(600);
             let deadline = Instant::now() + Duration::from_secs(timeout_s);
+            let mut sheds: u32 = 0;
             // The whole watch loop rides one keep-alive connection.
             loop {
                 let (status, body) = client.call("GET", &format!("/v1/studies/{name}"), "");
                 if status != 200 {
-                    refuse(status, &body);
+                    // Load sheds are transient: say why, back off, and
+                    // keep watching. Everything else aborts the watch.
+                    if !watch_should_retry(status) {
+                        refuse(status, &body);
+                    }
+                    sheds += 1;
+                    eprintln!(
+                        "tuna-ctl: {name}: {} (retrying)",
+                        describe_refusal(status, &body)
+                    );
+                    if Instant::now() >= deadline {
+                        eprintln!("tuna-ctl: watch timed out after {timeout_s}s");
+                        std::process::exit(4);
+                    }
+                    std::thread::sleep(Duration::from_millis(watch_backoff_ms(sheds)));
+                    continue;
                 }
+                sheds = 0;
                 let state = json::parse(&body)
                     .ok()
                     .and_then(|v| {
@@ -338,6 +540,93 @@ mod tests {
         assert_eq!(exit_code_for(500), 20);
         assert_eq!(exit_code_for(503), 20);
         assert!(codes.iter().all(|c| *c >= 10));
+    }
+
+    #[test]
+    fn watch_retries_sheds_and_aborts_hard_errors() {
+        // Load sheds (admission 429, capacity 503) are transient.
+        assert!(watch_should_retry(429));
+        assert!(watch_should_retry(503));
+        // Auth, validation, routing, and method errors abort the watch.
+        for status in [400, 401, 403, 404, 405, 408, 409, 413, 500] {
+            assert!(!watch_should_retry(status), "status {status}");
+        }
+    }
+
+    #[test]
+    fn watch_backoff_is_exponential_and_capped() {
+        assert_eq!(watch_backoff_ms(0), 250, "normal poll cadence");
+        assert_eq!(watch_backoff_ms(1), 500);
+        assert_eq!(watch_backoff_ms(2), 1_000);
+        assert_eq!(watch_backoff_ms(3), 2_000);
+        assert_eq!(watch_backoff_ms(4), 4_000);
+        for attempt in 5..40 {
+            assert_eq!(watch_backoff_ms(attempt), 5_000, "cap from attempt 5 on");
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0, 7.0]), "▁▂▃▄█");
+        // A flat series is all-low, not all-high: nothing to rank.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        // Quarantined NaN costs render as a placeholder dot.
+        assert_eq!(sparkline(&[1.0, f64::NAN, 0.0]), "█·▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn trace_rendering_shows_one_sparkline_per_arm() {
+        let body = concat!(
+            "{\"study\":\"s1\",\"digest\":\"abc\",\"n_cells\":2,\"cells\":[",
+            "{\"cell\":0,\"workload\":\"tpcc\",\"arm\":\"pair\",\"run\":0,\"arms\":[",
+            "{\"label\":\"TUNA\",\"series\":[[0,4],[1,2],[2,1]]},",
+            "{\"label\":\"naive\",\"series\":[[0,4],[1,4],[2,3.5]]}]}]}\n"
+        );
+        let out = render_trace(body).unwrap();
+        assert!(out.contains("study s1: 1/2 cells traced"), "{out}");
+        assert!(out.contains("cell 0 tpcc/pair run 0"), "{out}");
+        assert!(out.contains("TUNA"), "{out}");
+        assert!(out.contains("best 1.000000"), "{out}");
+        assert!(out.contains('█'), "{out}");
+        // Malformed documents are an error, not a panic.
+        assert!(render_trace("{}").is_err());
+        assert!(render_trace("not json").is_err());
+    }
+
+    #[test]
+    fn metrics_rendering_annotates_histograms() {
+        let text = concat!(
+            "# HELP tuna_serve_requests_total requests dispatched\n",
+            "# TYPE tuna_serve_requests_total counter\n",
+            "tuna_serve_requests_total 12\n",
+            "# HELP tuna_serve_pipeline_depth per-connection queue depth\n",
+            "# TYPE tuna_serve_pipeline_depth histogram\n",
+            "tuna_serve_pipeline_depth_bucket{le=\"1\"} 4\n",
+            "tuna_serve_pipeline_depth_bucket{le=\"2\"} 10\n",
+            "tuna_serve_pipeline_depth_bucket{le=\"+Inf\"} 12\n",
+            "tuna_serve_pipeline_depth_sum 20\n",
+            "tuna_serve_pipeline_depth_count 12\n",
+        );
+        let out = render_metrics(text);
+        // Counters pass through untouched; histograms gain a sparkline.
+        assert!(out.contains("tuna_serve_requests_total 12\n"), "{out}");
+        assert!(out.contains("# SPARK tuna_serve_pipeline_depth "), "{out}");
+        // Buckets de-cumulate to 4,6,2 → mid bucket is the tallest.
+        let spark = out
+            .lines()
+            .find(|l| l.starts_with("# SPARK"))
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap();
+        assert_eq!(spark.chars().count(), 3, "{spark}");
+        assert_eq!(spark.chars().nth(1), Some('█'), "{spark}");
+        // `--raw` path: input comes back out unchanged up to the spark.
+        assert_eq!(
+            out.replace(&format!("# SPARK tuna_serve_pipeline_depth {spark}\n"), ""),
+            text
+        );
     }
 
     #[test]

@@ -337,8 +337,19 @@ fn worker_loop(shared: &Shared) {
         let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut mgr = shared.mgr.lock().expect("manager lock");
         let result = match outcome {
-            Ok((record, _payload)) => {
-                mgr.complete_timed(&assignment.tenant, &assignment.study, record, wall_ns)
+            Ok((record, payload)) => {
+                let trace = tuna_core::campaign::cell_trace(
+                    &assignment.campaign,
+                    assignment.cell,
+                    &payload,
+                );
+                mgr.complete_traced(
+                    &assignment.tenant,
+                    &assignment.study,
+                    record,
+                    wall_ns,
+                    Some(trace),
+                )
             }
             Err(_) => {
                 eprintln!(

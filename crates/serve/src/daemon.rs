@@ -6,10 +6,12 @@
 //! | Method | Path                         | Reply |
 //! |--------|------------------------------|-------|
 //! | GET    | `/healthz`                   | `{"ok": true, "studies": N}` (never requires auth) |
+//! | GET    | `/metrics`                   | Prometheus text exposition (never requires auth) |
 //! | POST   | `/v1/studies`                | accepted study status (201), idempotent on identical re-submit (200) |
 //! | GET    | `/v1/studies`                | `{"studies": [status, ...]}` — the caller's tenant only |
 //! | GET    | `/v1/studies/<name>`         | study status |
 //! | GET    | `/v1/studies/<name>/results` | the study's canonical results document (partial while running) |
+//! | GET    | `/v1/studies/<name>/trace`   | per-cell convergence trace (best-cost-so-far series per arm) |
 //! | POST   | `/v1/studies/<name>/cancel`  | status after cancelling |
 //! | GET    | `/v1/tenants`                | every tenant's weight, budgets and usage meter |
 //!
@@ -48,6 +50,14 @@ pub fn handle(mgr: &mut StudyManager, req: &Request) -> Response {
             200,
             format!("{{\"ok\": true, \"studies\": {}}}\n", mgr.studies().count()),
         );
+    }
+    // Metrics stay unauthenticated for the same reason: Prometheus
+    // scrapers carry no tenant tokens. The exposition labels tenants
+    // (fair-share lag gauges) but carries no study payloads or costs;
+    // operators who consider tenant names sensitive should firewall the
+    // port, as they would for any exporter.
+    if let ("GET", ["metrics"]) = (req.method.as_str(), segments.as_slice()) {
+        return Response::text(200, mgr.metrics_text());
     }
     let tenant = match mgr.authenticate(req.bearer.as_deref()) {
         Ok(t) => t,
@@ -92,6 +102,10 @@ pub fn handle(mgr: &mut StudyManager, req: &Request) -> Response {
             None => unknown_study(name),
         },
         ("GET", ["v1", "studies", name, "results"]) => match mgr.results_json(&tenant, name) {
+            Some(doc) => Response::json(200, doc),
+            None => unknown_study(name),
+        },
+        ("GET", ["v1", "studies", name, "trace"]) => match mgr.trace_json(&tenant, name) {
             Some(doc) => Response::json(200, doc),
             None => unknown_study(name),
         },
@@ -243,6 +257,41 @@ mod tests {
         call(&mut mgr, "POST", "/v1/studies", &spec_body("a"));
         let (_, body) = call(&mut mgr, "GET", "/healthz", "");
         assert!(body.contains("\"studies\": 1"), "{body}");
+    }
+
+    #[test]
+    fn metrics_endpoint_is_unauthenticated_text() {
+        let mut mgr = authed_manager();
+        // No token required, unlike every /v1 route.
+        let raw = handle_bytes(&mut mgr, &request_bytes("GET", "/metrics", ""));
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("content-type: text/plain"), "{text}");
+        assert!(text.contains("# TYPE tuna_studies gauge"), "{text}");
+    }
+
+    #[test]
+    fn trace_endpoint_serves_convergence_document() {
+        let mut mgr = StudyManager::in_memory();
+        call(&mut mgr, "POST", "/v1/studies", &spec_body("s1"));
+        // Run the study's single cell through the manager.
+        let a = mgr.next_assignment().unwrap();
+        let (record, payload) = tuna_core::campaign::execute_cell(
+            &a.campaign,
+            a.cell,
+            tuna_core::executor::ExecutionMode::Serial,
+        );
+        let trace = tuna_core::campaign::cell_trace(&a.campaign, a.cell, &payload);
+        mgr.complete_traced(&a.tenant, &a.study, record, 0, Some(trace))
+            .unwrap();
+        let (status, body) = call(&mut mgr, "GET", "/v1/studies/s1/trace", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"study\":\"s1\""), "{body}");
+        assert!(body.contains("\"n_cells\":1"), "{body}");
+        assert!(body.contains("\"cell\":0"), "{body}");
+        // Unknown studies 404 like every other study route.
+        let (status, _) = call(&mut mgr, "GET", "/v1/studies/nope/trace", "");
+        assert_eq!(status, 404);
     }
 
     #[test]

@@ -35,10 +35,58 @@
 //!   closes).
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use crate::daemon;
 use crate::http::{Request, RequestParser, Response};
 use crate::manager::StudyManager;
+
+/// Cached handles into the process-global metrics registry — the same
+/// relaxed-atomics-only discipline as the executor's instrumentation:
+/// registration locks once, the hot path never does. All values are
+/// u64 counts in the driver's clock units, so nothing here can perturb
+/// a result byte (`instrument: false` exists purely so the perfgate
+/// can prove that claim by measuring the overhead).
+struct EngineMetrics {
+    requests: tuna_obs::Counter,
+    dispatch_latency: tuna_obs::Histogram,
+    pipeline_depth: tuna_obs::Histogram,
+    shed_503_capacity: tuna_obs::Counter,
+    shed_429_depth: tuna_obs::Counter,
+    shed_429_bytes: tuna_obs::Counter,
+    shed_408_timeout: tuna_obs::Counter,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = tuna_obs::global();
+        let shed = |class: &str| {
+            reg.counter(
+                &format!("tuna_serve_shed_total{{class=\"{class}\"}}"),
+                "requests/connections shed, by shed class",
+            )
+        };
+        EngineMetrics {
+            requests: reg.counter("tuna_serve_requests_total", "requests dispatched"),
+            dispatch_latency: reg.histogram(
+                "tuna_serve_dispatch_latency",
+                "decode-to-dispatch latency in driver clock units (ms under tunad, \
+                 scheduler ticks under the simulator)",
+                &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+            ),
+            pipeline_depth: reg.histogram(
+                "tuna_serve_pipeline_depth",
+                "per-connection queued requests at enqueue time",
+                &[1, 2, 4, 8, 16, 32, 64],
+            ),
+            shed_503_capacity: shed("503-capacity"),
+            shed_429_depth: shed("429-depth"),
+            shed_429_bytes: shed("429-bytes"),
+            shed_408_timeout: shed("408-timeout"),
+        }
+    })
+}
 
 /// Budgets and limits for an [`Engine`]. All time quantities are in the
 /// driver's clock unit: milliseconds under `tunad`, scheduler ticks
@@ -63,6 +111,11 @@ pub struct EngineConfig {
     pub conn_byte_budget: u64,
     /// Record decode-to-dispatch latencies (for the perfgate).
     pub record_latency: bool,
+    /// Feed the process-global metrics registry (latency/depth
+    /// histograms, shed counters). On by default; the perfgate's
+    /// `obs/overhead` scenario turns it off for its control pass to
+    /// measure the cost of instrumentation.
+    pub instrument: bool,
 }
 
 impl EngineConfig {
@@ -76,6 +129,7 @@ impl EngineConfig {
             idle_time_budget: 60_000,
             conn_byte_budget: 64 * 1024 * 1024,
             record_latency: false,
+            instrument: true,
         }
     }
 
@@ -89,6 +143,7 @@ impl EngineConfig {
             idle_time_budget: 1_000,
             conn_byte_budget: 64 * 1024 * 1024,
             record_latency: false,
+            instrument: true,
         }
     }
 }
@@ -187,6 +242,9 @@ impl Engine {
                 "server at connection capacity; retry later",
             ));
             self.shed_total += 1;
+            if self.cfg.instrument {
+                engine_metrics().shed_503_capacity.inc();
+            }
         }
         self.open += 1;
         match self.free.pop() {
@@ -219,6 +277,9 @@ impl Engine {
                 "connection byte budget exhausted; reconnect",
             ));
             self.shed_total += 1;
+            if self.cfg.instrument {
+                engine_metrics().shed_429_bytes.inc();
+            }
             return;
         }
         conn.parser.feed(bytes);
@@ -229,9 +290,17 @@ impl Engine {
                     if conn.pending.len() >= self.cfg.max_pending {
                         conn.shed(Response::error(429, "pipeline depth exceeded; slow down"));
                         self.shed_total += 1;
+                        if self.cfg.instrument {
+                            engine_metrics().shed_429_depth.inc();
+                        }
                         return;
                     }
                     conn.pending.push_back(PendingItem::Request(req, now));
+                    if self.cfg.instrument {
+                        engine_metrics()
+                            .pipeline_depth
+                            .observe(conn.pending.len() as u64);
+                    }
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -281,13 +350,23 @@ impl Engine {
                         if self.cfg.record_latency {
                             self.latencies.push(now.saturating_sub(decoded_at));
                         }
+                        if self.cfg.instrument {
+                            let m = engine_metrics();
+                            m.requests.inc();
+                            m.dispatch_latency.observe(now.saturating_sub(decoded_at));
+                        }
                         dispatched += 1;
                         conn.served += 1;
                         self.served_total += 1;
                         let close = req.close || conn.served >= self.cfg.max_requests_per_conn;
                         (daemon::handle(mgr, &req), close)
                     }
-                    PendingItem::Terminal(resp) => (resp, true),
+                    PendingItem::Terminal(resp) => {
+                        if self.cfg.instrument {
+                            mgr.note_shed(resp.status);
+                        }
+                        (resp, true)
+                    }
                 };
                 let keep = !close && !conn.close_after_flush;
                 conn.out.extend_from_slice(&resp.to_wire(keep));
@@ -321,6 +400,9 @@ impl Engine {
                         "request did not complete within its time budget",
                     ));
                     self.timeout_total += 1;
+                    if self.cfg.instrument {
+                        engine_metrics().shed_408_timeout.inc();
+                    }
                 }
             } else if conn.pending.is_empty()
                 && conn.out.is_empty()
@@ -431,6 +513,7 @@ mod tests {
             idle_time_budget: 100,
             conn_byte_budget: 4096,
             record_latency: true,
+            instrument: true,
         }
     }
 

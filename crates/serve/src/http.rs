@@ -366,8 +366,11 @@ pub fn parse_request_bytes(raw: &[u8]) -> Result<Request, HttpError> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `content-type` header value. Every body in the API is JSON
+    /// except the Prometheus exposition at `/metrics`.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -376,19 +379,32 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format is
+    /// `text/plain; version=0.0.4`). Framing is unchanged — replies are
+    /// still `content-length`-delimited — so keep-alive clients and
+    /// [`ResponseParser`] handle it like any other body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
     /// A structured JSON error response:
     /// `{"error": {"status": S, "message": "..."}}`.
     pub fn error(status: u16, message: &str) -> Self {
-        Response {
+        Response::json(
             status,
-            body: format!(
+            format!(
                 "{{\"error\": {{\"status\": {status}, \"message\": {}}}}}\n",
                 tuna_stats::json::quote(message)
             ),
-        }
+        )
     }
 
     /// A structured JSON refusal with a machine-readable reason slug:
@@ -396,14 +412,14 @@ impl Response {
     /// what auth (401/403) and admission control (429) answer with, so
     /// clients can branch on `reason` instead of parsing prose.
     pub fn refusal(status: u16, reason: &str, message: &str) -> Self {
-        Response {
+        Response::json(
             status,
-            body: format!(
+            format!(
                 "{{\"error\": {{\"status\": {status}, \"reason\": {}, \"message\": {}}}}}\n",
                 tuna_stats::json::quote(reason),
                 tuna_stats::json::quote(message)
             ),
-        }
+        )
     }
 
     /// The canonical response for a framing-level [`HttpError`].
@@ -435,9 +451,10 @@ impl Response {
     /// server will keep the connection open afterwards.
     pub fn to_wire(&self, keep_alive: bool) -> Vec<u8> {
         format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
             self.body

@@ -89,12 +89,16 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::api::{Lane, StudySpec};
 use crate::tenant::{self, TenantRegistry, TenantUsage, DEFAULT_TENANT};
 use tuna_core::campaign::{write_atomic, Campaign, CellRecord, ResultStore};
+use tuna_obs::trace::{load_sidecar, render_sidecar};
+use tuna_obs::{
+    CellTrace, Clock, EventKind, Journal, MetricsRegistry, SpanId, StudyTrace, TickClock,
+};
 
 /// File (under the data dir) holding the persisted per-tenant usage
 /// counters.
@@ -164,10 +168,24 @@ pub struct Study {
     cancelled: bool,
     /// Scheduler clock value of the last assignment from this study.
     last_scheduled: u64,
+    /// The study's span in the manager's journal.
+    span: SpanId,
+    /// Open spans of in-flight cells, by cell index.
+    cell_spans: BTreeMap<usize, SpanId>,
+    /// Convergence traces of completed cells, sorted by cell index —
+    /// the in-memory mirror of the `<name>.trace` sidecar.
+    traces: Vec<CellTrace>,
 }
 
 impl Study {
-    fn new(spec: StudySpec, campaign: Arc<Campaign>, store: ResultStore, cancelled: bool) -> Self {
+    fn new(
+        spec: StudySpec,
+        campaign: Arc<Campaign>,
+        store: ResultStore,
+        cancelled: bool,
+        span: SpanId,
+        traces: Vec<CellTrace>,
+    ) -> Self {
         let pending = if cancelled {
             VecDeque::new()
         } else {
@@ -183,6 +201,9 @@ impl Study {
             in_flight: Vec::new(),
             cancelled,
             last_scheduled: 0,
+            span,
+            cell_spans: BTreeMap::new(),
+            traces,
         }
     }
 
@@ -279,6 +300,66 @@ fn vtime_cmp(a: (u64, u64), b: (u64, u64)) -> Ordering {
     (a.0 as u128 * b.1 as u128).cmp(&(b.0 as u128 * a.1 as u128))
 }
 
+/// Appends one `\n`-terminated line to `path`, creating the file if
+/// needed. Unlike [`write_atomic`] this is a plain append — the trace
+/// sidecar's torn-tail load discipline makes a mid-append kill safe.
+fn append_line(path: &Path, line: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    f.write_all(line.as_bytes())
+        .and_then(|()| f.write_all(b"\n"))
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+/// The manager's observability rig: a deterministic tick clock (kept
+/// in lockstep with the scheduler clock), the span/event journal, the
+/// manager-owned metrics registry, and cached handles for the hot
+/// paths. Purely a side channel — nothing here feeds back into
+/// scheduling decisions.
+struct Obs {
+    registry: MetricsRegistry,
+    tick: Arc<TickClock>,
+    journal: Journal,
+    assigned: tuna_obs::Counter,
+    completed: tuna_obs::Counter,
+    preempted: tuna_obs::Counter,
+    studies_gauge: tuna_obs::Gauge,
+}
+
+impl Obs {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let tick = TickClock::shared();
+        let journal = Journal::new(tick.clone() as Arc<dyn Clock>);
+        let assigned = registry.counter("tuna_cells_assigned_total", "cells handed to workers");
+        let completed = registry.counter("tuna_cells_completed_total", "cell results recorded");
+        let preempted = registry.counter(
+            "tuna_preempted_total",
+            "batch candidates deferred at a cell boundary by interactive work",
+        );
+        let studies_gauge = registry.gauge("tuna_studies", "studies under management");
+        Obs {
+            registry,
+            tick,
+            journal,
+            assigned,
+            completed,
+            preempted,
+            studies_gauge,
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").finish_non_exhaustive()
+    }
+}
+
 /// The study registry plus the weighted fair-share scheduler.
 #[derive(Debug)]
 pub struct StudyManager {
@@ -288,6 +369,7 @@ pub struct StudyManager {
     tenants: BTreeMap<String, TenantSched>,
     /// Monotonic scheduling clock for least-recently-scheduled ties.
     clock: u64,
+    obs: Obs,
 }
 
 /// An assignment handed to a worker: which tenant's study, which cell,
@@ -321,6 +403,7 @@ impl StudyManager {
             studies: BTreeMap::new(),
             tenants: BTreeMap::new(),
             clock: 0,
+            obs: Obs::new(),
         };
         mgr.seed_registry_tenants();
         mgr
@@ -362,6 +445,7 @@ impl StudyManager {
             studies: BTreeMap::new(),
             tenants: BTreeMap::new(),
             clock: 0,
+            obs: Obs::new(),
         };
         mgr.seed_registry_tenants();
 
@@ -491,6 +575,11 @@ impl StudyManager {
             .map(|d| d.join(format!("{name}.cancelled")))
     }
 
+    fn trace_path(&self, tenant: &str, name: &str) -> Option<PathBuf> {
+        self.tenant_dir(tenant)
+            .map(|d| d.join(format!("{name}.trace")))
+    }
+
     /// Writes the usage table atomically (no-op in memory; the file is
     /// not created until some counter is nonzero, and an unchanged
     /// table rewrites byte-identically — canonical serialization).
@@ -541,9 +630,52 @@ impl StudyManager {
                 .finalize(&campaign)
                 .map_err(|e| format!("study '{}': finalize on attach failed: {e}", spec.name))?;
         }
+
+        // Resume the convergence-trace sidecar, tolerating a torn tail
+        // (a kill mid-append): damaged lines drop — the cell re-runs,
+        // because the sidecar append always precedes the store record —
+        // and a dirty file is rewritten canonically so later appends
+        // land on a clean one.
+        let mut traces = Vec::new();
+        if let Some(path) = self.trace_path(&tenant, &spec.name) {
+            if path.exists() {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let loaded = load_sidecar(&text);
+                if loaded.dirty {
+                    write_atomic(&path, &render_sidecar(&loaded.cells))
+                        .map_err(|e| format!("study '{}': {e}", spec.name))?;
+                    self.obs.journal.event(
+                        None,
+                        EventKind::JournalRepaired,
+                        &format!("{}: trace sidecar tail dropped", spec.name),
+                    );
+                }
+                // Entries beyond the grid cannot belong to this
+                // declaration; drop them rather than serve them.
+                traces = loaded
+                    .cells
+                    .into_iter()
+                    .filter(|c| (c.cell as usize) < campaign.n_cells())
+                    .collect();
+            }
+        }
+        if store.repaired() {
+            self.obs.journal.event(
+                None,
+                EventKind::JournalRepaired,
+                &format!("{}: result journal tail dropped", spec.name),
+            );
+        }
+
+        let span = self
+            .obs
+            .journal
+            .begin_span(None, &format!("study:{}", spec.name));
         let key = (tenant, spec.name.clone());
-        let study = Study::new(spec, campaign, store, cancelled);
+        let study = Study::new(spec, campaign, store, cancelled, span, traces);
         self.studies.insert(key.clone(), study);
+        self.obs.studies_gauge.set(self.studies.len() as u64);
         Ok(self.studies.get(&key).expect("just inserted"))
     }
 
@@ -575,11 +707,11 @@ impl StudyManager {
             .clone()
             .unwrap_or_else(|| DEFAULT_TENANT.to_string());
         if !self.tenants.contains_key(&tenant) && self.registry.get(&tenant).is_none() {
-            return Err(Refusal::new(
+            return Err(self.refused(Refusal::new(
                 403,
                 "unknown-tenant",
                 format!("unknown tenant '{tenant}'"),
-            ));
+            )));
         }
 
         let key = (tenant.clone(), spec.name.clone());
@@ -587,14 +719,14 @@ impl StudyManager {
             return if existing.spec == spec {
                 Ok((self.studies.get(&key).expect("present"), false))
             } else {
-                Err(Refusal::new(
+                Err(self.refused(Refusal::new(
                     409,
                     "conflict",
                     format!(
                         "study '{}' already exists with a different declaration",
                         spec.name
                     ),
-                ))
+                )))
             };
         }
 
@@ -603,27 +735,27 @@ impl StudyManager {
             if let Some(max) = t.max_studies {
                 let running = self.running_studies(&tenant) as u64;
                 if running >= max {
-                    return Err(Refusal::new(
+                    return Err(self.refused(Refusal::new(
                         429,
                         "study-budget",
                         format!(
                             "tenant '{tenant}' already runs {running} of {max} allowed concurrent studies"
                         ),
-                    ));
+                    )));
                 }
             }
             if let Some(max) = t.max_cells {
                 let outstanding = self.outstanding_cells(&tenant);
                 let declared = spec.n_cells() as u64;
                 if outstanding + declared > max {
-                    return Err(Refusal::new(
+                    return Err(self.refused(Refusal::new(
                         429,
                         "cell-budget",
                         format!(
                             "study declares {declared} cells but tenant '{tenant}' has \
                              {outstanding} outstanding of a {max}-cell budget"
                         ),
-                    ));
+                    )));
                 }
             }
         }
@@ -661,6 +793,41 @@ impl StudyManager {
         self.persist_usage()
             .map_err(|e| Refusal::new(500, "persistence", e))?;
         Ok((self.studies.get(&key).expect("just attached"), true))
+    }
+
+    /// Records a refusal in the journal and the per-reason counter,
+    /// then hands it back unchanged (used as `Err(self.refused(..))`).
+    fn refused(&self, r: Refusal) -> Refusal {
+        self.obs.journal.event(
+            None,
+            EventKind::AdmissionRefused,
+            &format!("{} {}", r.status, r.reason),
+        );
+        self.obs
+            .registry
+            .counter(
+                &format!("tuna_admission_refused_total{{reason=\"{}\"}}", r.reason),
+                "submissions refused by admission control, by reason",
+            )
+            .inc();
+        r
+    }
+
+    /// Records a connection-engine shed (408/429/503) in the journal.
+    /// Other statuses (framing errors) are not shed events and are
+    /// ignored. The per-class counters live in the engine itself; this
+    /// hook exists so the discrete events land in the same journal as
+    /// scheduling, with the same clock.
+    pub fn note_shed(&self, status: u16) {
+        let kind = match status {
+            408 => EventKind::Shed408,
+            429 => EventKind::Shed429,
+            503 => EventKind::Shed503,
+            _ => return,
+        };
+        self.obs
+            .journal
+            .event(None, kind, &format!("status={status}"));
     }
 
     /// Running studies of a tenant.
@@ -816,7 +983,17 @@ impl StudyManager {
         // Interactive preemption at cell boundaries: while any
         // interactive study can take a worker, batch cells wait.
         if any_interactive {
+            let before = cands.len();
             cands.retain(|(_, _, lane)| *lane == Lane::Interactive);
+            let deferred = (before - cands.len()) as u64;
+            if deferred > 0 {
+                self.obs.preempted.add(deferred);
+                self.obs.journal.event(
+                    None,
+                    EventKind::Preempted,
+                    &format!("{deferred} batch candidates deferred"),
+                );
+            }
         }
 
         // Activate candidate tenants. A newcomer starts at the current
@@ -872,6 +1049,9 @@ impl StudyManager {
 
         self.clock += 1;
         let clock = self.clock;
+        // The journal's tick clock shadows the scheduler clock: one
+        // tick per grant, deterministic at any worker count.
+        self.obs.tick.set_at_least(clock);
         let ts = self.tenants.get_mut(&tenant).expect("selected tenant");
         ts.scheduled += 1;
         ts.last_scheduled = clock;
@@ -882,12 +1062,51 @@ impl StudyManager {
         let cell = study.pending.pop_front().expect("selected study has work");
         study.in_flight.push(cell);
         study.last_scheduled = clock;
+        let span = self
+            .obs
+            .journal
+            .begin_span(Some(study.span), &format!("cell:{cell}"));
+        study.cell_spans.insert(cell, span);
+        let campaign = Arc::clone(&study.campaign);
+        self.obs.journal.event(
+            Some(span),
+            EventKind::Scheduled,
+            &format!("{tenant}/{name}"),
+        );
+        self.obs.assigned.inc();
+        self.update_vtime_lag();
         Some(Assignment {
             tenant,
             study: name,
             cell,
-            campaign: Arc::clone(&study.campaign),
+            campaign,
         })
+    }
+
+    /// Refreshes the per-tenant fair-share lag gauges: each active
+    /// tenant's virtual time (scheduled/weight, scaled ×1000 to keep
+    /// integer gauges meaningful) minus the active minimum. A tenant
+    /// at 0 is at the front of the fair-share queue; a large lag means
+    /// it is owed service.
+    fn update_vtime_lag(&self) {
+        let scaled: Vec<(&String, u64)> = self
+            .tenants
+            .iter()
+            .filter(|(_, ts)| ts.active)
+            .map(|(name, ts)| (name, ts.scheduled.saturating_mul(1000) / ts.weight))
+            .collect();
+        let Some(min) = scaled.iter().map(|(_, v)| *v).min() else {
+            return;
+        };
+        for (name, v) in scaled {
+            self.obs
+                .registry
+                .gauge(
+                    &format!("tuna_tenant_vtime_lag{{tenant=\"{name}\"}}"),
+                    "fair-share virtual-time lag behind the active minimum, x1000",
+                )
+                .set(v - min);
+        }
     }
 
     /// Records a finished cell, charging no wall time (tests and
@@ -921,6 +1140,31 @@ impl StudyManager {
         record: CellRecord,
         wall_ns: u64,
     ) -> Result<(), String> {
+        self.complete_traced(tenant, study, record, wall_ns, None)
+    }
+
+    /// Records a finished cell together with its convergence trace.
+    /// The trace line is appended to the study's `<name>.trace` sidecar
+    /// *before* the result store records the cell: a kill between the
+    /// two re-executes the cell (cells are pure), and the duplicate
+    /// sidecar line is dropped first-wins on reload — so the assembled
+    /// trace document is byte-identical across kill/restart and worker
+    /// counts. Completions without a trace (synthetic perf records,
+    /// untuned arms) are legal and simply leave no sidecar line.
+    ///
+    /// # Errors
+    ///
+    /// See [`StudyManager::complete_timed`]; additionally a sidecar
+    /// append failure is reported before the result is recorded.
+    pub fn complete_traced(
+        &mut self,
+        tenant: &str,
+        study: &str,
+        record: CellRecord,
+        wall_ns: u64,
+        trace: Option<CellTrace>,
+    ) -> Result<(), String> {
+        let trace_path = self.trace_path(tenant, study);
         let key = (tenant.to_string(), study.to_string());
         let s = self
             .studies
@@ -932,13 +1176,43 @@ impl StudyManager {
                 record.cell
             ));
         };
+
+        if let Some(trace) = trace {
+            match s.traces.binary_search_by_key(&trace.cell, |c| c.cell) {
+                // Already traced: a resumed cell re-ran after a kill
+                // that landed between sidecar append and store record.
+                // First wins (re-execution is bit-identical anyway).
+                Ok(_) => {}
+                Err(at) => {
+                    if let Some(path) = &trace_path {
+                        append_line(path, &trace.render_line())
+                            .map_err(|e| format!("study '{study}': {e}"))?;
+                    }
+                    s.traces.insert(at, trace);
+                }
+            }
+        }
+
         s.in_flight.remove(slot);
+        let cell_idx = record.cell;
         s.store.record(&s.campaign, record);
         if s.store.len() == s.campaign.n_cells() {
             s.store
                 .finalize(&s.campaign)
                 .map_err(|e| format!("study '{study}': finalize failed: {e}"))?;
         }
+        if let Some(span) = s.cell_spans.remove(&cell_idx) {
+            self.obs.journal.end_span(span);
+        }
+        self.obs.journal.event(
+            None,
+            EventKind::Completed,
+            &format!("{tenant}/{study} cell {cell_idx}"),
+        );
+        if s.store.len() == s.campaign.n_cells() {
+            self.obs.journal.end_span(s.span);
+        }
+        self.obs.completed.inc();
         let ts = self
             .tenants
             .get_mut(tenant)
@@ -1000,6 +1274,44 @@ impl StudyManager {
     pub fn results_json(&self, tenant: &str, study: &str) -> Option<String> {
         let s = self.get(tenant, study)?;
         Some(s.store.to_json(&s.campaign))
+    }
+
+    /// The study's convergence-trace document
+    /// (`GET /v1/studies/<name>/trace`): best-cost-so-far series per
+    /// arm, per completed cell, assembled from the trace sidecar's
+    /// in-memory mirror — never from the row store. Cells are sorted by
+    /// index and the document carries no clock values, so it is
+    /// byte-identical across worker counts and kill/restart.
+    pub fn trace_json(&self, tenant: &str, study: &str) -> Option<String> {
+        let s = self.get(tenant, study)?;
+        Some(
+            StudyTrace {
+                study: s.spec.name.clone(),
+                digest: s.campaign.digest(),
+                n_cells: s.campaign.n_cells() as u64,
+                cells: s.traces.clone(),
+            }
+            .to_json(),
+        )
+    }
+
+    /// The Prometheus text exposition document (`GET /metrics`): the
+    /// manager's own registry (scheduler, admission, fair-share)
+    /// merged with the process-global one (executor, pipeline,
+    /// quarantine, engine, store repair).
+    pub fn metrics_text(&self) -> String {
+        MetricsRegistry::render_many(&[&self.obs.registry, tuna_obs::global()])
+    }
+
+    /// The span/event journal's deterministic plain-text rendering
+    /// (tests and diagnostics; not a wire surface).
+    pub fn journal_render(&self) -> String {
+        self.obs.journal.render()
+    }
+
+    /// The manager's journal (assertions on counts/events).
+    pub fn journal(&self) -> &Journal {
+        &self.obs.journal
     }
 }
 

@@ -184,6 +184,81 @@ fn kill_restart_resume_is_byte_identical_across_workers_and_batch() {
     let _ = std::fs::remove_dir_all(&batch_dir);
 }
 
+fn trace(sim: &mut SimServer, name: &str) -> String {
+    let (status, body) = sim.request("GET", &format!("/v1/studies/{name}/trace"), "");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// The convergence-trace endpoint inherits the results contract: the
+/// document a killed-and-restarted daemon serves is byte-identical to
+/// an uninterrupted run's, at 1 and 4 workers — and identical *across*
+/// worker counts, because cells are sorted and no clock values appear.
+/// The trace is assembled from the `<study>.trace` sidecar (never the
+/// row store), so the sidecar's reload path is what this test pins.
+#[test]
+fn trace_endpoint_is_byte_identical_across_kill_restart_and_workers() {
+    let mut reference: Option<(String, String)> = None;
+    for workers in [1usize, 4] {
+        // --- Uninterrupted daemon run. -------------------------------
+        let ref_dir = fresh_dir(&format!("trace-ref-w{workers}"));
+        let mut sim = SimServer::new(Some(ref_dir.clone()), workers).unwrap();
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        sim.run_to_completion();
+        let ref_alpha = trace(&mut sim, "alpha");
+        let ref_beta = trace(&mut sim, "beta");
+        // The TUNA arm tunes: its trace must carry a non-empty series.
+        assert!(ref_alpha.contains("\"label\":\"TUNA\""), "{ref_alpha}");
+        assert!(ref_alpha.contains("\"n_cells\":4"), "{ref_alpha}");
+        drop(sim);
+
+        // --- Killed mid-study, restarted, resumed. -------------------
+        let kill_dir = fresh_dir(&format!("trace-kill-w{workers}"));
+        let mut sim = SimServer::new(Some(kill_dir.clone()), workers).unwrap();
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        let mut done_before_kill = 0;
+        while done_before_kill < 3 {
+            done_before_kill += sim.step().len();
+        }
+        assert!(done_before_kill < 8, "the kill must land mid-study");
+        drop(sim); // the kill
+
+        let mut sim = SimServer::new(Some(kill_dir.clone()), workers).unwrap();
+        submit(&mut sim, ALPHA);
+        submit(&mut sim, BETA);
+        sim.run_to_completion();
+        assert_eq!(
+            trace(&mut sim, "alpha"),
+            ref_alpha,
+            "workers={workers}: resumed trace != uninterrupted (alpha)"
+        );
+        assert_eq!(
+            trace(&mut sim, "beta"),
+            ref_beta,
+            "workers={workers}: resumed trace != uninterrupted (beta)"
+        );
+        // The sidecar is the on-disk source of the document.
+        assert!(
+            kill_dir.join("alpha.trace").exists(),
+            "trace sidecar missing"
+        );
+
+        // --- Identical across worker counts too. ---------------------
+        match &reference {
+            None => reference = Some((ref_alpha, ref_beta)),
+            Some((a, b)) => {
+                assert_eq!(&ref_alpha, a, "trace differs across worker counts");
+                assert_eq!(&ref_beta, b, "trace differs across worker counts");
+            }
+        }
+
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&kill_dir);
+    }
+}
+
 /// A slowloris peer — half a request, then silence — must not pin its
 /// connection slot forever: once the per-connection time budget lapses
 /// the daemon answers a structured `408` and closes the slot, while
